@@ -1,0 +1,87 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/coarse"
+	"repro/internal/comm"
+	"repro/internal/la"
+)
+
+// fig6 reproduces the coarse-grid solver comparison: modeled ASCI-Red solve
+// time vs node count P for the XXT solver, redundant banded-LU, and
+// row-distributed A⁻¹, plus the 2·latency·log₂P lower bound, for the 63²
+// (n=3969) and 127² (n=16129) five-point Poisson problems. The distributed
+// algorithms execute for real on the simulated machine (goroutine ranks,
+// real messages); times come from the per-rank virtual clocks.
+func fig6(quick bool) {
+	grids := [][2]int{{63, 63}, {127, 127}}
+	maxP := 2048
+	if quick {
+		grids = [][2]int{{63, 63}}
+		maxP = 256
+	}
+	for _, g := range grids {
+		nx, ny := g[0], g[1]
+		n := nx * ny
+		fmt.Printf("\nFig 6: coarse-grid solve times, n=%d (%dx%d five-point Poisson)\n", n, nx, ny)
+		a := coarse.Poisson5pt(nx, ny)
+		rng := rand.New(rand.NewSource(7))
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		fmt.Printf("%6s %12s %12s %12s %12s\n", "P", "XXT", "red. LU", "dist. A^-1", "2*lat*logP")
+		var lastNNZ, lastCross int
+		for p := 1; p <= maxP; p *= 4 {
+			m := comm.ASCIRed(p)
+			// XXT.
+			xxt, err := coarse.NewXXT(a, nx, ny, p)
+			if err != nil {
+				fmt.Println("XXT error:", err)
+				return
+			}
+			inv := la.InvPerm(xxt.Perm)
+			bp := make([]float64, n)
+			for old := 0; old < n; old++ {
+				bp[inv[old]] = b[old]
+			}
+			ranks := comm.NewNetwork(m).Run(func(r *comm.Rank) {
+				xxt.SolveOn(r, bp[xxt.BlockLo[r.ID]:xxt.BlockHi[r.ID]])
+			})
+			tXXT := comm.MaxTime(ranks)
+			lastNNZ, lastCross = xxt.NNZ(), xxt.CrossCount()
+			// Redundant banded LU.
+			lu, err := coarse.NewRedundantLU(a, nx, p)
+			if err != nil {
+				fmt.Println("LU error:", err)
+				return
+			}
+			ranks = comm.NewNetwork(m).Run(func(r *comm.Rank) {
+				lo, hi := r.ID*n/p, (r.ID+1)*n/p
+				lu.SolveOn(r, b[lo:hi], r.ID == 0)
+			})
+			tLU := comm.MaxTime(ranks)
+			// Distributed inverse.
+			di, err := coarse.NewDistInv(a, p)
+			if err != nil {
+				fmt.Println("DistInv error:", err)
+				return
+			}
+			ranks = comm.NewNetwork(m).Run(func(r *comm.Rank) {
+				lo, hi := r.ID*n/p, (r.ID+1)*n/p
+				di.SolveOn(r, b[lo:hi], r.ID == 0)
+			})
+			tDI := comm.MaxTime(ranks)
+			fmt.Printf("%6d %12.3e %12.3e %12.3e %12.3e\n",
+				p, tXXT, tLU, tDI, coarse.LatencyBound(m))
+		}
+		fmt.Printf("(XXT factor at max P: %d nonzeros, %d separator-crossing columns)\n",
+			lastNNZ, lastCross)
+	}
+	fmt.Println("\nExpected shape (paper): XXT time falls until P ~ 16 (n=3969) /")
+	fmt.Println("P ~ 256 (n=16129) then tracks the latency bound with a bandwidth")
+	fmt.Println("offset; it beats both baselines in the work- and the")
+	fmt.Println("communication-dominated regimes.")
+}

@@ -1,0 +1,49 @@
+// Command tables regenerates every table and figure of the paper's
+// evaluation (Tufo & Fischer, SC'99). Each experiment prints the same rows
+// or series the paper reports; see EXPERIMENTS.md for the mapping and the
+// expected shape agreements.
+//
+// Usage:
+//
+//	tables -exp table1 [-quick]
+//	tables -exp table2|table3|table4|fig3|fig4|fig6|fig8|all
+//
+// -quick shrinks resolutions/step counts so every experiment finishes in
+// seconds to minutes; the full settings match the paper where feasible.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: table1, table2, table3, table4, fig3, fig4, fig6, fig8 or all")
+	quick := flag.Bool("quick", false, "reduced resolutions for fast runs")
+	flag.Parse()
+
+	experiments := map[string]func(bool){
+		"table1": table1,
+		"table2": table2,
+		"table3": table3,
+		"table4": table4,
+		"fig3":   fig3,
+		"fig4":   fig4,
+		"fig6":   fig6,
+		"fig8":   fig8,
+	}
+	if *exp == "all" {
+		for _, name := range []string{"table1", "table2", "table3", "table4", "fig3", "fig4", "fig6", "fig8"} {
+			fmt.Printf("\n================ %s ================\n", name)
+			experiments[name](*quick)
+		}
+		return
+	}
+	fn, ok := experiments[*exp]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+	fn(*quick)
+}

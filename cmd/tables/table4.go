@@ -1,0 +1,90 @@
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/flowcases"
+	"repro/internal/perfmodel"
+)
+
+// measuredHistory runs a reduced hairpin problem to obtain the shape of the
+// per-step iteration history (Fig. 8 right), then rescales the settled
+// pressure-iteration level to the paper's production band (30–50).
+func measuredHistory(steps int, quick bool) (press, helm, sub []int) {
+	cfg := flowcases.HairpinConfig{
+		Nx: 6, Ny: 4, Nz: 3, N: 5, Re: 1600, Dt: 0.05, Workers: 2, FilterA: 0.05,
+	}
+	if quick {
+		cfg = flowcases.HairpinConfig{Nx: 4, Ny: 3, Nz: 3, N: 4, Re: 850, Dt: 0.05, Workers: 2, FilterA: 0.05}
+	}
+	s, err := flowcases.Hairpin(cfg)
+	if err != nil {
+		fmt.Println("  (hairpin setup failed, using synthetic history:", err, ")")
+		return perfmodel.PaperIterationHistory(steps, 45, 8, 10)
+	}
+	press = make([]int, steps)
+	helm = make([]int, steps)
+	sub = make([]int, steps)
+	var settled int
+	for i := 0; i < steps; i++ {
+		st, err := s.Step()
+		if err != nil {
+			fmt.Println("  (hairpin run failed at step", i, ", padding with synthetic history)")
+			p2, h2, s2 := perfmodel.PaperIterationHistory(steps, 45, 8, 10)
+			copy(press[i:], p2[i:])
+			copy(helm[i:], h2[i:])
+			copy(sub[i:], s2[i:])
+			return press, helm, sub
+		}
+		press[i] = st.PressureIters
+		helm[i] = st.HelmholtzIters[0]
+		sub[i] = st.Substeps
+		settled = st.PressureIters
+	}
+	// Rescale the measured shape to the paper's settled band (~45 at
+	// production resolution) while keeping the transient ratio.
+	if settled > 0 {
+		scale := 45.0 / float64(settled)
+		for i := range press {
+			press[i] = int(float64(press[i]) * scale)
+			if press[i] < 1 {
+				press[i] = 1
+			}
+		}
+	}
+	for i := range helm {
+		if helm[i] < 8 {
+			helm[i] = 8 // production band
+		}
+		if sub[i] < 10 {
+			sub[i] = 10 // CFL 1-5 with ~0.4 substep CFL
+		}
+	}
+	return press, helm, sub
+}
+
+// table4 models total time and sustained GFLOPS for 26 production steps at
+// (K, N) = (8168, 15) on 512/1024/2048 ASCI-Red nodes, single- and
+// dual-processor mode, with the std and perf kernel selections.
+func table4(quick bool) {
+	fmt.Println("Table 4: modeled ASCI-Red-333 totals for 26 steps, K=8168, N=15")
+	fmt.Println("(iteration history measured on a reduced hairpin run, rescaled; see DESIGN.md)")
+	press, helm, sub := measuredHistory(26, quick)
+	run := perfmodel.HairpinRun(press, helm, sub)
+	std := perfmodel.ASCIRedStd()
+	perf := perfmodel.ASCIRedPerf()
+	fmt.Printf("%6s | %12s %8s | %12s %8s | %12s %8s | %12s %8s\n", "P",
+		"single(std)", "GFLOPS", "dual(std)", "GFLOPS", "single(perf)", "GFLOPS", "dual(perf)", "GFLOPS")
+	for _, p := range []int{512, 1024, 2048} {
+		ss := run.Predict(std, p, false)
+		sd := run.Predict(std, p, true)
+		ps := run.Predict(perf, p, false)
+		pd := run.Predict(perf, p, true)
+		fmt.Printf("%6d | %10.0f s %8.0f | %10.0f s %8.0f | %10.0f s %8.0f | %10.0f s %8.0f\n",
+			p, ss.TotalTime, ss.GFLOPS, sd.TotalTime, sd.GFLOPS,
+			ps.TotalTime, ps.GFLOPS, pd.TotalTime, pd.GFLOPS)
+	}
+	fmt.Println("\nExpected shape (paper): near-linear strong scaling; dual mode ~1.4-1.6x;")
+	fmt.Println("perf kernels ~5-20% over std; best corner (2048, dual, perf) sustains")
+	fmt.Println("hundreds of GFLOPS (paper: 319 GF).")
+}

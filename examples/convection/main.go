@@ -1,0 +1,44 @@
+// Buoyancy-driven convection (the Fig. 4 setting in a box): a Boussinesq
+// cell heated from below, demonstrating the projection-onto-previous-
+// solutions acceleration of the successive pressure solves.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/flowcases"
+)
+
+func main() {
+	nel := flag.Int("nel", 6, "elements per direction")
+	n := flag.Int("n", 7, "polynomial order")
+	ra := flag.Float64("ra", 1e4, "buoyancy (Rayleigh-like) parameter")
+	steps := flag.Int("steps", 40, "time steps")
+	l := flag.Int("L", 26, "projection basis size (0 = off)")
+	flag.Parse()
+
+	s, err := flowcases.Convection(flowcases.ConvectionConfig{
+		Nel: *nel, N: *n, Ra: *ra, Dt: 0.002, ProjectionL: *l, Workers: 2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("convection cell: %dx%d elements, N=%d, Ra=%g, projection L=%d\n",
+		*nel, *nel, *n, *ra, *l)
+	fmt.Printf("%6s %12s %12s %14s %12s\n", "step", "KE", "p-iters", "res before CG", "basis")
+	for i := 1; i <= *steps; i++ {
+		st, err := s.Step()
+		if err != nil {
+			log.Fatalf("step %d: %v", i, err)
+		}
+		if i%4 == 0 {
+			fmt.Printf("%6d %12.4e %12d %14.3e %12d\n",
+				i, flowcases.KineticEnergy(s), st.PressureIters, st.PressureRes0, st.ProjectionBasis)
+		}
+	}
+	fmt.Println("\nRerun with -L 0 to see the iteration counts without projection")
+	fmt.Println("(the Fig. 4 comparison: 2.5-5x more iterations, residuals orders")
+	fmt.Println("of magnitude larger before each solve).")
+}

@@ -1,0 +1,361 @@
+// Package coarse implements the paper's parallel coarse-grid solvers
+// (Sec. 5, Fig. 6). The workhorse is the Tufo–Fischer XXT method: a sparse
+// A-conjugate basis X (Xᵀ A X = I, so A⁻¹ = X Xᵀ) obtained from a
+// nested-dissection sparse Cholesky (X = L⁻ᵀ), distributed column-wise so
+// the solve is a pair of fully concurrent matrix-vector products plus one
+// log₂P-depth combine restricted to the separator-crossing columns — total
+// communication volume O(n^{(d-1)/d} log₂ P), against the O(n log₂ P) of
+// the redundant banded-LU and row-distributed A⁻¹ baselines it is compared
+// with in Fig. 6.
+package coarse
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/comm"
+	"repro/internal/la"
+)
+
+// Poisson5pt builds the n = nx*ny five-point Dirichlet Poisson matrix on a
+// regular grid, the Fig. 6 model problem.
+func Poisson5pt(nx, ny int) *la.CSR {
+	b := la.NewCOO(nx*ny, nx*ny)
+	id := func(ix, iy int) int { return iy*nx + ix }
+	for iy := 0; iy < ny; iy++ {
+		for ix := 0; ix < nx; ix++ {
+			i := id(ix, iy)
+			b.Add(i, i, 4)
+			if ix > 0 {
+				b.Add(i, id(ix-1, iy), -1)
+			}
+			if ix < nx-1 {
+				b.Add(i, id(ix+1, iy), -1)
+			}
+			if iy > 0 {
+				b.Add(i, id(ix, iy-1), -1)
+			}
+			if iy < ny-1 {
+				b.Add(i, id(ix, iy+1), -1)
+			}
+		}
+	}
+	return b.ToCSR()
+}
+
+// XXT is the factorized coarse solver, set up once and shared (read-only)
+// by all simulated ranks.
+type XXT struct {
+	N    int
+	P    int
+	Perm []int // nested-dissection permutation, perm[new] = old
+
+	x *la.SparseCols // X = L⁻ᵀ in permuted index space
+
+	BlockLo []int // dof-block [BlockLo[p], BlockHi[p]) per rank (permuted ids)
+	BlockHi []int
+
+	// Column classification: columns whose support stays inside the owning
+	// rank's block are "local"; the rest are "cross" and participate in the
+	// log P combine.
+	crossOf   []int // column -> compact cross index, -1 if local
+	CrossCols []int // cross column ids
+	ownerOf   []int // column -> owning rank (the rank owning dof j)
+}
+
+// NewXXT orders the SPD matrix with nested dissection (grid-aware when
+// nx*ny == a.Rows and nx > 0), factorizes it, forms the sparse inverse
+// factor, and partitions the permuted dofs into p contiguous blocks.
+func NewXXT(a *la.CSR, nx, ny, p int) (*XXT, error) {
+	n := a.Rows
+	var perm []int
+	if nx > 0 && nx*ny == n {
+		perm = la.NDPermGrid(nx, ny)
+	} else {
+		adj := make([][]int, n)
+		for i := 0; i < n; i++ {
+			for q := a.Ptr[i]; q < a.Ptr[i+1]; q++ {
+				if j := a.Col[q]; j != i {
+					adj[i] = append(adj[i], j)
+				}
+			}
+		}
+		perm = la.NDPermGraph(adj)
+	}
+	chol, err := la.FactorSparseChol(a.Permute(perm))
+	if err != nil {
+		return nil, fmt.Errorf("coarse: XXT factorization: %w", err)
+	}
+	s := &XXT{N: n, P: p, Perm: perm, x: chol.InverseTransposeCols()}
+	s.BlockLo = make([]int, p)
+	s.BlockHi = make([]int, p)
+	for r := 0; r < p; r++ {
+		s.BlockLo[r] = r * n / p
+		s.BlockHi[r] = (r + 1) * n / p
+	}
+	rankOf := func(i int) int {
+		// Blocks are near-uniform; locate by division then fix up.
+		r := i * p / n
+		if r >= p {
+			r = p - 1
+		}
+		for i < s.BlockLo[r] {
+			r--
+		}
+		for i >= s.BlockHi[r] {
+			r++
+		}
+		return r
+	}
+	s.crossOf = make([]int, n)
+	s.ownerOf = make([]int, n)
+	for j := 0; j < n; j++ {
+		s.ownerOf[j] = rankOf(j)
+		idx := s.x.Idx[j]
+		s.crossOf[j] = -1
+		if len(idx) == 0 {
+			continue
+		}
+		lo, hi := int(idx[0]), int(idx[len(idx)-1])
+		if rankOf(lo) != rankOf(hi) {
+			s.crossOf[j] = len(s.CrossCols)
+			s.CrossCols = append(s.CrossCols, j)
+		}
+	}
+	return s, nil
+}
+
+// NNZ returns the stored size of the inverse factor.
+func (s *XXT) NNZ() int { return s.x.NNZ() }
+
+// CrossCount returns the number of separator-crossing columns (the combine
+// payload per log P stage, ≈ 3·n^{1/2} in 2D).
+func (s *XXT) CrossCount() int { return len(s.CrossCols) }
+
+// SolveSerial computes u = A⁻¹ b (natural ordering) through the factor, for
+// reference and testing.
+func (s *XXT) SolveSerial(b []float64) []float64 {
+	n := s.N
+	bp := make([]float64, n)
+	inv := la.InvPerm(s.Perm)
+	for old := 0; old < n; old++ {
+		bp[inv[old]] = b[old]
+	}
+	z := make([]float64, n)
+	for j := 0; j < n; j++ {
+		var sum float64
+		for k, i := range s.x.Idx[j] {
+			sum += s.x.Val[j][k] * bp[i]
+		}
+		z[j] = sum
+	}
+	up := make([]float64, n)
+	for j := 0; j < n; j++ {
+		v := z[j]
+		if v == 0 {
+			continue
+		}
+		for k, i := range s.x.Idx[j] {
+			up[i] += s.x.Val[j][k] * v
+		}
+	}
+	u := make([]float64, n)
+	for old := 0; old < n; old++ {
+		u[old] = up[inv[old]]
+	}
+	return u
+}
+
+// SolveOn executes the distributed solve on one simulated rank. bLocal is
+// the rank's block of the right-hand side in permuted order
+// (b[BlockLo[r]:BlockHi[r]]); the rank's block of the solution is returned.
+// Local floating-point work is charged to the rank's virtual clock; the
+// combine over the cross columns is a real recursive-doubling allreduce.
+func (s *XXT) SolveOn(r *comm.Rank, bLocal []float64) []float64 {
+	me := r.ID
+	lo, hi := s.BlockLo[me], s.BlockHi[me]
+	// Stage 1: z = Xᵀ b. Local columns owned by me are complete from my
+	// rows; cross columns get partial sums from every rank.
+	zCross := make([]float64, len(s.CrossCols))
+	zLocal := make(map[int]float64)
+	var flops int64
+	for j := 0; j < s.N; j++ {
+		ci := s.crossOf[j]
+		if ci < 0 {
+			if s.ownerOf[j] != me {
+				continue
+			}
+			var sum float64
+			idx, val := s.x.Idx[j], s.x.Val[j]
+			for k, i := range idx {
+				sum += val[k] * bLocal[int(i)-lo]
+			}
+			zLocal[j] = sum
+			flops += int64(2 * len(idx))
+			continue
+		}
+		// Partial over my rows only (support indices are sorted: binary
+		// search the block window).
+		idx, val := s.x.Idx[j], s.x.Val[j]
+		k0, k1 := rowWindow(idx, lo, hi)
+		var sum float64
+		for k := k0; k < k1; k++ {
+			sum += val[k] * bLocal[int(idx[k])-lo]
+		}
+		flops += int64(2 * (k1 - k0))
+		zCross[ci] = sum
+	}
+	r.Compute(flops)
+	// Stage 2: combine the cross-column partials (log₂P stages, payload =
+	// CrossCount words — the separator volume of the paper's bound).
+	r.Allreduce(zCross, comm.OpSum)
+	// Stage 3: u = X z restricted to my rows.
+	u := make([]float64, hi-lo)
+	flops = 0
+	for j, z := range zLocal {
+		idx, val := s.x.Idx[j], s.x.Val[j]
+		for k, i := range idx {
+			u[int(i)-lo] += val[k] * z
+		}
+		flops += int64(2 * len(idx))
+	}
+	for ci, j := range s.CrossCols {
+		z := zCross[ci]
+		if z == 0 {
+			continue
+		}
+		idx, val := s.x.Idx[j], s.x.Val[j]
+		k0, k1 := rowWindow(idx, lo, hi)
+		for k := k0; k < k1; k++ {
+			u[int(idx[k])-lo] += val[k] * z
+		}
+		flops += int64(2 * (k1 - k0))
+	}
+	r.Compute(flops)
+	return u
+}
+
+// rowWindow returns the half-open index range [k0, k1) of the sorted row
+// list idx falling inside [lo, hi).
+func rowWindow(idx []int32, lo, hi int) (int, int) {
+	k0 := sort.Search(len(idx), func(k int) bool { return int(idx[k]) >= lo })
+	k1 := sort.Search(len(idx), func(k int) bool { return int(idx[k]) >= hi })
+	return k0, k1
+}
+
+// RedundantLU is the redundant banded-solve baseline: every rank holds the
+// full banded Cholesky factor and solves the whole system after an
+// allreduce assembles the full right-hand side (the O(n log₂ P)
+// communication the paper contrasts with).
+type RedundantLU struct {
+	N   int
+	P   int
+	fac *la.BandedCholesky
+	lo  []int
+	hi  []int
+}
+
+// NewRedundantLU factorizes the banded SPD matrix (half-bandwidth bw taken
+// from the natural grid ordering).
+func NewRedundantLU(a *la.CSR, bw, p int) (*RedundantLU, error) {
+	n := a.Rows
+	band := make([][]float64, bw+1)
+	for d := range band {
+		band[d] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for q := a.Ptr[i]; q < a.Ptr[i+1]; q++ {
+			j := a.Col[q]
+			if j <= i && i-j <= bw {
+				band[i-j][j] = a.Val[q]
+			}
+		}
+	}
+	fac, err := la.FactorBanded(band, n, bw)
+	if err != nil {
+		return nil, err
+	}
+	s := &RedundantLU{N: n, P: p, fac: fac, lo: make([]int, p), hi: make([]int, p)}
+	for r := 0; r < p; r++ {
+		s.lo[r] = r * n / p
+		s.hi[r] = (r + 1) * n / p
+	}
+	return s, nil
+}
+
+// SolveOn runs the redundant solve on one rank: allreduce the padded RHS,
+// then a full local banded solve; returns the rank's solution block. The
+// solve flops are always charged to the virtual clock; when wantResult is
+// false the (redundant, bit-identical) numeric solve is skipped so that
+// large-P simulations do not pay P times the real work of one solve.
+func (s *RedundantLU) SolveOn(r *comm.Rank, bLocal []float64, wantResult bool) []float64 {
+	me := r.ID
+	full := make([]float64, s.N)
+	copy(full[s.lo[me]:s.hi[me]], bLocal)
+	r.Allreduce(full, comm.OpSum)
+	r.Compute(s.fac.SolveFlops())
+	if !wantResult {
+		return nil
+	}
+	x := make([]float64, s.N)
+	s.fac.Solve(x, full)
+	return x[s.lo[me]:s.hi[me]]
+}
+
+// DistInv is the row-distributed A⁻¹ baseline: each rank conceptually holds
+// n/P dense rows of A⁻¹ and needs the full right-hand side. The dense
+// matvec flops are charged to the virtual clock; the numerical values are
+// produced through a shared sparse factorization so the baseline stays
+// exact without materializing the O(n²) inverse.
+type DistInv struct {
+	N   int
+	P   int
+	fac *la.SparseChol
+	lo  []int
+	hi  []int
+}
+
+// NewDistInv prepares the baseline.
+func NewDistInv(a *la.CSR, p int) (*DistInv, error) {
+	fac, err := la.FactorSparseChol(a)
+	if err != nil {
+		return nil, err
+	}
+	n := a.Rows
+	s := &DistInv{N: n, P: p, fac: fac, lo: make([]int, p), hi: make([]int, p)}
+	for r := 0; r < p; r++ {
+		s.lo[r] = r * n / p
+		s.hi[r] = (r + 1) * n / p
+	}
+	return s, nil
+}
+
+// SolveOn runs the distributed-inverse solve on one rank. The dense
+// row-block matvec cost (2·n·n/P flops) is charged to the virtual clock;
+// the numeric values are produced through the shared sparse factorization
+// only when wantResult is true (they are what the dense rows would give).
+func (s *DistInv) SolveOn(r *comm.Rank, bLocal []float64, wantResult bool) []float64 {
+	me := r.ID
+	full := make([]float64, s.N)
+	copy(full[s.lo[me]:s.hi[me]], bLocal)
+	r.Allreduce(full, comm.OpSum)
+	// Dense row-block matvec cost: 2 * n * (rows I own).
+	rows := s.hi[me] - s.lo[me]
+	r.Compute(int64(2 * s.N * rows))
+	if !wantResult {
+		return nil
+	}
+	x := make([]float64, s.N)
+	s.fac.Solve(x, full)
+	return x[s.lo[me]:s.hi[me]]
+}
+
+// LatencyBound returns the paper's lower-bound curve 2·α·log₂P for a
+// contention-free fan-in/fan-out binary tree.
+func LatencyBound(m comm.Machine) float64 {
+	logp := 0
+	for q := 1; q < m.P; q <<= 1 {
+		logp++
+	}
+	return 2 * m.Latency * float64(logp)
+}

@@ -1,0 +1,329 @@
+// Package comm provides a simulated distributed-memory message-passing
+// machine: P ranks run as goroutines exchanging real data over channels,
+// while a LogP-style α–β (latency–bandwidth) cost model advances per-rank
+// virtual clocks. This substitutes for the paper's ASCI-Red NX/MPI layer:
+// the distributed algorithms (gather–scatter, XXT coarse solver, collective
+// trees) execute exactly as they would on real hardware — same messages,
+// same data, same dependency structure — and the virtual clocks yield the
+// communication-time curves of Fig. 6 without 2048 physical nodes.
+package comm
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Machine models the network of the target platform.
+type Machine struct {
+	P       int
+	Latency float64 // α: seconds per message
+	ByteSec float64 // β: seconds per byte
+	FlopSec float64 // seconds per flop for modeled local compute
+}
+
+// ASCIRed returns a machine model with ASCI-Red-like constants: ~20 µs MPI
+// latency, ~310 MB/s per-link bandwidth, and ~100 MFLOPS sustained
+// per-processor compute (the Table 3 ballpark).
+func ASCIRed(p int) Machine {
+	return Machine{P: p, Latency: 20e-6, ByteSec: 1 / 310e6, FlopSec: 1 / 100e6}
+}
+
+type message struct {
+	from, tag int
+	data      []float64
+	arrival   float64 // virtual arrival time at the receiver
+}
+
+// Network is an instantiated machine: use Run to execute an SPMD function.
+type Network struct {
+	Machine
+	inboxes []chan message
+}
+
+// NewNetwork allocates the communication structure for the machine.
+func NewNetwork(m Machine) *Network {
+	n := &Network{Machine: m, inboxes: make([]chan message, m.P)}
+	for i := range n.inboxes {
+		n.inboxes[i] = make(chan message, 8*m.P+64)
+	}
+	return n
+}
+
+// Rank is the per-process handle passed to the SPMD body.
+type Rank struct {
+	ID  int
+	net *Network
+
+	Time      float64 // virtual clock, seconds
+	BytesSent int64
+	MsgsSent  int64
+	Flops     int64
+
+	pending []message
+}
+
+type pendingKey struct{ from, tag int }
+
+// Run executes body on every rank concurrently and returns the per-rank
+// states after completion (for clock/traffic inspection).
+func (n *Network) Run(body func(r *Rank)) []*Rank {
+	ranks := make([]*Rank, n.P)
+	var wg sync.WaitGroup
+	wg.Add(n.P)
+	for p := 0; p < n.P; p++ {
+		r := &Rank{ID: p, net: n}
+		ranks[p] = r
+		go func() {
+			defer wg.Done()
+			body(r)
+		}()
+	}
+	wg.Wait()
+	return ranks
+}
+
+// Send transmits data to rank `to` with the given tag. The sender's clock
+// advances by the full message cost α + β·bytes (single-port model); the
+// message carries its arrival time.
+func (r *Rank) Send(to, tag int, data []float64) {
+	if to == r.ID {
+		panic("comm: self-send")
+	}
+	bytes := 8 * len(data)
+	r.Time += r.net.Latency + float64(bytes)*r.net.ByteSec
+	r.BytesSent += int64(bytes)
+	r.MsgsSent++
+	cp := make([]float64, len(data))
+	copy(cp, data)
+	r.net.inboxes[to] <- message{from: r.ID, tag: tag, data: cp, arrival: r.Time}
+}
+
+// Recv blocks until a message with the given source and tag arrives and
+// returns its payload, advancing the receiver's clock to at least the
+// message arrival time.
+func (r *Rank) Recv(from, tag int) []float64 {
+	for i, m := range r.pending {
+		if m.from == from && m.tag == tag {
+			r.pending = append(r.pending[:i], r.pending[i+1:]...)
+			if m.arrival > r.Time {
+				r.Time = m.arrival
+			}
+			return m.data
+		}
+	}
+	for {
+		m := <-r.net.inboxes[r.ID]
+		if m.from == from && m.tag == tag {
+			if m.arrival > r.Time {
+				r.Time = m.arrival
+			}
+			return m.data
+		}
+		r.pending = append(r.pending, m)
+	}
+}
+
+// Compute advances the virtual clock by the modeled time of nflops local
+// floating-point operations.
+func (r *Rank) Compute(nflops int64) {
+	r.Flops += nflops
+	r.Time += float64(nflops) * r.net.FlopSec
+}
+
+// P returns the number of ranks.
+func (r *Rank) P() int { return r.net.P }
+
+// ---- Collectives ----
+
+// tagBase offsets keep collective traffic distinct from user tags; user tags
+// must stay below 1<<20.
+const (
+	tagAllreduce = 1 << 20
+	tagBcast     = 1 << 21
+	tagGather    = 1 << 22
+	tagBarrier   = 1 << 23
+)
+
+// ReduceOp combines two equal-length vectors elementwise into dst.
+type ReduceOp func(dst, src []float64)
+
+// OpSum adds src into dst.
+func OpSum(dst, src []float64) {
+	for i, v := range src {
+		dst[i] += v
+	}
+}
+
+// OpMax takes the elementwise maximum.
+func OpMax(dst, src []float64) {
+	for i, v := range src {
+		if v > dst[i] {
+			dst[i] = v
+		}
+	}
+}
+
+// OpMin takes the elementwise minimum.
+func OpMin(dst, src []float64) {
+	for i, v := range src {
+		if v < dst[i] {
+			dst[i] = v
+		}
+	}
+}
+
+// Allreduce combines data across all ranks with op, leaving the result in
+// data on every rank. Power-of-two rank counts use recursive doubling
+// (log₂P rounds); general counts fall back to a binomial-tree reduce+bcast.
+func (r *Rank) Allreduce(data []float64, op ReduceOp) {
+	p := r.net.P
+	if p == 1 {
+		return
+	}
+	if p&(p-1) == 0 {
+		for dist, round := 1, 0; dist < p; dist, round = dist<<1, round+1 {
+			peer := r.ID ^ dist
+			tag := tagAllreduce + round
+			r.Send(peer, tag, data)
+			got := r.Recv(peer, tag)
+			op(data, got)
+		}
+		return
+	}
+	r.reduceTree(data, op)
+	r.bcastTree(data)
+}
+
+// reduceTree reduces to rank 0 along a binomial tree.
+func (r *Rank) reduceTree(data []float64, op ReduceOp) {
+	p := r.net.P
+	for dist := 1; dist < p; dist <<= 1 {
+		if r.ID&(2*dist-1) == 0 {
+			src := r.ID + dist
+			if src < p {
+				got := r.Recv(src, tagAllreduce+dist)
+				op(data, got)
+			}
+		} else if r.ID&(dist-1) == 0 {
+			r.Send(r.ID-dist, tagAllreduce+dist, data)
+			return
+		}
+	}
+}
+
+// bcastTree broadcasts rank 0's data along a binomial tree (fan-out): in
+// round dist, every rank that already holds the data and is a multiple of
+// 2·dist forwards it to rank+dist.
+func (r *Rank) bcastTree(data []float64) {
+	p := r.net.P
+	mask := 1
+	for mask < p {
+		mask <<= 1
+	}
+	received := r.ID == 0
+	for dist := mask >> 1; dist >= 1; dist >>= 1 {
+		switch {
+		case received && r.ID%(2*dist) == 0 && r.ID+dist < p:
+			r.Send(r.ID+dist, tagBcast+dist, data)
+		case !received && r.ID%(2*dist) == dist:
+			got := r.Recv(r.ID-dist, tagBcast+dist)
+			copy(data, got)
+			received = true
+		}
+	}
+	if !received {
+		panic(fmt.Sprintf("comm: bcast failed to reach rank %d", r.ID))
+	}
+}
+
+// Bcast broadcasts root's data to all ranks (binomial tree rooted at 0;
+// non-zero roots relay through 0).
+func (r *Rank) Bcast(data []float64, root int) {
+	if r.net.P == 1 {
+		return
+	}
+	if root != 0 {
+		if r.ID == root {
+			r.Send(0, tagBcast, data)
+		} else if r.ID == 0 {
+			copy(data, r.Recv(root, tagBcast))
+		}
+	}
+	r.bcastTree(data)
+}
+
+// Barrier synchronizes all ranks (allreduce of a scalar).
+func (r *Rank) Barrier() {
+	buf := []float64{0}
+	r.Allreduce(buf, OpSum)
+}
+
+// AllreduceScalar is a convenience for a single value.
+func (r *Rank) AllreduceScalar(v float64, op ReduceOp) float64 {
+	buf := []float64{v}
+	r.Allreduce(buf, op)
+	return buf[0]
+}
+
+// Gather collects each rank's data at root (concatenated by rank id, all
+// slices must share one length) and returns the concatenation at root (nil
+// elsewhere). Binomial-tree fan-in.
+func (r *Rank) Gather(data []float64, root int) []float64 {
+	p := r.net.P
+	n := len(data)
+	if p == 1 {
+		out := make([]float64, n)
+		copy(out, data)
+		return out
+	}
+	// Shift ids so the tree is rooted at `root`.
+	vid := (r.ID - root + p) % p
+	// own[i]: accumulated block starting at vid.
+	acc := make([]float64, n)
+	copy(acc, data)
+	for dist := 1; dist < p; dist <<= 1 {
+		if vid&(2*dist-1) == 0 {
+			srcV := vid + dist
+			if srcV < p {
+				src := (srcV + root) % p
+				got := r.Recv(src, tagGather+dist)
+				acc = append(acc, got...)
+			}
+		} else if vid&(dist-1) == 0 {
+			dst := (vid - dist + root) % p
+			r.Send(dst, tagGather+dist, acc)
+			return nil
+		}
+	}
+	if r.ID != root {
+		return nil
+	}
+	// acc holds blocks ordered by virtual id; rotate to physical order.
+	out := make([]float64, p*n)
+	for v := 0; v < p; v++ {
+		phys := (v + root) % p
+		copy(out[phys*n:(phys+1)*n], acc[v*n:(v+1)*n])
+	}
+	return out
+}
+
+// MaxTime returns the maximum virtual clock across ranks (the modeled
+// parallel completion time).
+func MaxTime(ranks []*Rank) float64 {
+	t := 0.0
+	for _, r := range ranks {
+		if r.Time > t {
+			t = r.Time
+		}
+	}
+	return t
+}
+
+// TotalBytes returns the total traffic volume.
+func TotalBytes(ranks []*Rank) int64 {
+	var b int64
+	for _, r := range ranks {
+		b += r.BytesSent
+	}
+	return b
+}

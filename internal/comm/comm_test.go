@@ -1,0 +1,224 @@
+package comm
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+)
+
+func machine(p int) Machine {
+	return Machine{P: p, Latency: 1e-5, ByteSec: 1e-8, FlopSec: 1e-8}
+}
+
+func TestSendRecv(t *testing.T) {
+	net := NewNetwork(machine(2))
+	var got atomic.Value
+	net.Run(func(r *Rank) {
+		if r.ID == 0 {
+			r.Send(1, 7, []float64{1, 2, 3})
+		} else {
+			got.Store(r.Recv(0, 7))
+		}
+	})
+	d := got.Load().([]float64)
+	if len(d) != 3 || d[0] != 1 || d[2] != 3 {
+		t.Fatalf("bad payload %v", d)
+	}
+}
+
+func TestRecvOutOfOrderTags(t *testing.T) {
+	net := NewNetwork(machine(2))
+	var a, b atomic.Value
+	net.Run(func(r *Rank) {
+		if r.ID == 0 {
+			r.Send(1, 1, []float64{1})
+			r.Send(1, 2, []float64{2})
+		} else {
+			// Receive in reverse order: tag 2 first.
+			b.Store(r.Recv(0, 2))
+			a.Store(r.Recv(0, 1))
+		}
+	})
+	if a.Load().([]float64)[0] != 1 || b.Load().([]float64)[0] != 2 {
+		t.Fatal("out-of-order receive failed")
+	}
+}
+
+func TestAllreduceSumAllP(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 4, 5, 7, 8, 16, 31} {
+		net := NewNetwork(machine(p))
+		results := make([]float64, p)
+		net.Run(func(r *Rank) {
+			data := []float64{float64(r.ID + 1)}
+			r.Allreduce(data, OpSum)
+			results[r.ID] = data[0]
+		})
+		want := float64(p*(p+1)) / 2
+		for id, got := range results {
+			if got != want {
+				t.Fatalf("P=%d rank %d: allreduce sum %g want %g", p, id, got, want)
+			}
+		}
+	}
+}
+
+func TestAllreduceMinMax(t *testing.T) {
+	p := 8
+	net := NewNetwork(machine(p))
+	mins := make([]float64, p)
+	maxs := make([]float64, p)
+	net.Run(func(r *Rank) {
+		mn := []float64{float64(r.ID)}
+		r.Allreduce(mn, OpMin)
+		mins[r.ID] = mn[0]
+		mx := []float64{float64(r.ID)}
+		r.Allreduce(mx, OpMax)
+		maxs[r.ID] = mx[0]
+	})
+	for id := 0; id < p; id++ {
+		if mins[id] != 0 || maxs[id] != float64(p-1) {
+			t.Fatalf("rank %d: min %g max %g", id, mins[id], maxs[id])
+		}
+	}
+}
+
+func TestBcast(t *testing.T) {
+	for _, p := range []int{2, 3, 6, 8, 13} {
+		for _, root := range []int{0, p - 1} {
+			net := NewNetwork(machine(p))
+			results := make([]float64, p)
+			net.Run(func(r *Rank) {
+				data := []float64{-1}
+				if r.ID == root {
+					data[0] = 42
+				}
+				r.Bcast(data, root)
+				results[r.ID] = data[0]
+			})
+			for id, got := range results {
+				if got != 42 {
+					t.Fatalf("P=%d root=%d rank %d: bcast got %g", p, root, id, got)
+				}
+			}
+		}
+	}
+}
+
+func TestGather(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 5, 8, 11} {
+		for _, root := range []int{0, p / 2} {
+			net := NewNetwork(machine(p))
+			var out atomic.Value
+			net.Run(func(r *Rank) {
+				data := []float64{float64(10 * r.ID), float64(10*r.ID + 1)}
+				g := r.Gather(data, root)
+				if r.ID == root {
+					out.Store(g)
+				} else if g != nil {
+					t.Errorf("non-root rank %d got non-nil gather", r.ID)
+				}
+			})
+			g := out.Load().([]float64)
+			if len(g) != 2*p {
+				t.Fatalf("P=%d: gather length %d", p, len(g))
+			}
+			for id := 0; id < p; id++ {
+				if g[2*id] != float64(10*id) || g[2*id+1] != float64(10*id+1) {
+					t.Fatalf("P=%d root=%d: block %d wrong: %v", p, root, id, g[2*id:2*id+2])
+				}
+			}
+		}
+	}
+}
+
+func TestVirtualClockAdvances(t *testing.T) {
+	net := NewNetwork(machine(2))
+	ranks := net.Run(func(r *Rank) {
+		if r.ID == 0 {
+			r.Send(1, 0, make([]float64, 100))
+		} else {
+			r.Recv(0, 0)
+			r.Compute(1000)
+		}
+	})
+	// Sender: α + 800 bytes * β = 1e-5 + 8e-6.
+	if d := ranks[0].Time - (1e-5 + 800e-8); math.Abs(d) > 1e-12 {
+		t.Errorf("sender clock %g", ranks[0].Time)
+	}
+	// Receiver: arrival + compute.
+	want := ranks[0].Time + 1000e-8
+	if d := ranks[1].Time - want; math.Abs(d) > 1e-12 {
+		t.Errorf("receiver clock %g want %g", ranks[1].Time, want)
+	}
+	if ranks[0].BytesSent != 800 || ranks[0].MsgsSent != 1 {
+		t.Error("traffic accounting wrong")
+	}
+	if TotalBytes(ranks) != 800 {
+		t.Error("TotalBytes wrong")
+	}
+	if MaxTime(ranks) != ranks[1].Time {
+		t.Error("MaxTime wrong")
+	}
+}
+
+func TestAllreduceClockScalesLogP(t *testing.T) {
+	// Virtual completion time of a scalar allreduce should grow ~ 2α·log₂P.
+	times := map[int]float64{}
+	for _, p := range []int{4, 16, 64} {
+		net := NewNetwork(machine(p))
+		ranks := net.Run(func(r *Rank) {
+			r.AllreduceScalar(1, OpSum)
+		})
+		times[p] = MaxTime(ranks)
+	}
+	if !(times[4] < times[16] && times[16] < times[64]) {
+		t.Errorf("allreduce time not increasing with P: %v", times)
+	}
+	// Recursive doubling: exactly log2(P) rounds, each round ≈ α+8β both ways.
+	round := 1e-5 + 8e-8
+	if math.Abs(times[16]-8*round) > 4*round {
+		t.Errorf("P=16 allreduce time %g not near %g", times[16], 8*round)
+	}
+}
+
+func TestBarrier(t *testing.T) {
+	p := 9
+	net := NewNetwork(machine(p))
+	var counter atomic.Int64
+	after := make([]int64, p)
+	net.Run(func(r *Rank) {
+		counter.Add(1)
+		r.Barrier()
+		after[r.ID] = counter.Load()
+	})
+	for id, v := range after {
+		if v != int64(p) {
+			t.Fatalf("rank %d passed barrier before all arrived (saw %d)", id, v)
+		}
+	}
+}
+
+func TestASCIRedModel(t *testing.T) {
+	m := ASCIRed(512)
+	if m.P != 512 || m.Latency <= 0 || m.ByteSec <= 0 || m.FlopSec <= 0 {
+		t.Error("ASCIRed model malformed")
+	}
+}
+
+func TestPayloadIsolation(t *testing.T) {
+	// Mutating the sender's buffer after Send must not corrupt the message.
+	net := NewNetwork(machine(2))
+	var got atomic.Value
+	net.Run(func(r *Rank) {
+		if r.ID == 0 {
+			buf := []float64{5}
+			r.Send(1, 0, buf)
+			buf[0] = -1
+		} else {
+			got.Store(r.Recv(0, 0))
+		}
+	})
+	if got.Load().([]float64)[0] != 5 {
+		t.Error("message payload aliases sender buffer")
+	}
+}

@@ -1,0 +1,76 @@
+// Package core is the façade over the paper's primary contribution: the
+// stabilized spectral element Navier–Stokes solver and its scalable
+// elliptic solver stack. It re-exports the main entry points so that a
+// downstream user can drive the whole system from one import; the
+// subsystem packages (mesh, sem, solver, schwarz, coarse, ns, …) remain
+// the homes of the implementations.
+package core
+
+import (
+	"repro/internal/mesh"
+	"repro/internal/ns"
+	"repro/internal/schwarz"
+	"repro/internal/sem"
+	"repro/internal/solver"
+)
+
+// Navier–Stokes solver (Secs. 2, 4, 5 of the paper).
+type (
+	// Solver integrates the incompressible Navier–Stokes equations.
+	Solver = ns.Solver
+	// Config selects the problem, splitting order, filter and solver knobs.
+	Config = ns.Config
+	// ScalarConfig adds Boussinesq scalar transport.
+	ScalarConfig = ns.ScalarConfig
+	// StepStats reports per-step iteration counts and CFL.
+	StepStats = ns.StepStats
+)
+
+// NewSolver builds a Navier–Stokes solver.
+func NewSolver(cfg Config) (*Solver, error) { return ns.New(cfg) }
+
+// Discretization and meshes.
+type (
+	// Mesh is a discretized spectral element mesh.
+	Mesh = mesh.Mesh
+	// MeshSpec describes a mesh before discretization.
+	MeshSpec = mesh.Spec
+	// Disc bundles the matrix-free operators over one mesh.
+	Disc = sem.Disc
+)
+
+// Discretize builds the order-N spectral element mesh from a spec.
+func Discretize(spec *MeshSpec, n int) (*Mesh, error) { return mesh.Discretize(spec, n) }
+
+// NewDisc builds the operator set for a mesh (mask may be nil).
+func NewDisc(m *Mesh, mask []float64, workers int) *Disc { return sem.New(m, mask, workers) }
+
+// Elliptic solvers (Sec. 5).
+type (
+	// SchwarzOptions configures the additive overlapping Schwarz
+	// preconditioner (FDM or FEM local solves, coarse grid on/off).
+	SchwarzOptions = schwarz.Options
+	// SchwarzPrecond is the ready preconditioner.
+	SchwarzPrecond = schwarz.Precond
+	// CGOptions controls conjugate gradient iterations.
+	CGOptions = solver.Options
+	// CGStats reports one linear solve.
+	CGStats = solver.Stats
+	// Projector accelerates successive right-hand sides (Fischer 1998).
+	Projector = solver.Projector
+)
+
+// NewSchwarz builds the Schwarz preconditioner for a discretization.
+func NewSchwarz(d *Disc, opt SchwarzOptions) (*SchwarzPrecond, error) {
+	return schwarz.New(d, opt)
+}
+
+// CG runs preconditioned conjugate gradients.
+func CG(apply solver.Operator, dot solver.Dot, x, b []float64, opt CGOptions) CGStats {
+	return solver.CG(apply, dot, x, b, opt)
+}
+
+// NewProjector creates a projection accelerator with basis capacity l.
+func NewProjector(l int, apply solver.Operator, dot solver.Dot) *Projector {
+	return solver.NewProjector(l, apply, dot)
+}

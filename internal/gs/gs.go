@@ -1,0 +1,294 @@
+// Package gs implements the gather–scatter utility of Sec. 6 of the paper
+// (Tufo's gs_init / gs_op): the direct-stiffness residual assembly of the
+// spectral element method as a single local-to-local transformation, in
+// which nodal values shared by adjacent elements are combined in place with
+// a commutative/associative operation (sum, min, max, mul) and written back
+// to every copy. A vector mode applies the same topology to several fields
+// at once. The serial Handle backs the shared-memory solvers; ParHandle
+// runs the same operation across ranks of a comm network via pairwise
+// neighbour exchange.
+package gs
+
+import "repro/internal/comm"
+
+// Op is the reduction applied to shared nodal values.
+type Op int
+
+// Supported reductions.
+const (
+	Sum Op = iota
+	Mul
+	Min
+	Max
+)
+
+func combine(op Op, a, b float64) float64 {
+	switch op {
+	case Sum:
+		return a + b
+	case Mul:
+		return a * b
+	case Min:
+		if b < a {
+			return b
+		}
+		return a
+	case Max:
+		if b > a {
+			return b
+		}
+		return a
+	}
+	return a
+}
+
+// Handle is the serial gather–scatter operator for one connectivity.
+type Handle struct {
+	n      int
+	groups [][]int32 // local indices sharing one global id (multiplicity > 1 only)
+}
+
+// Init builds a handle from the per-local-node global ids (the
+// "global-node-numbers" argument of the paper's gs-init).
+func Init(gids []int64) *Handle {
+	byGID := make(map[int64][]int32, len(gids))
+	for i, g := range gids {
+		byGID[g] = append(byGID[g], int32(i))
+	}
+	h := &Handle{n: len(gids)}
+	for _, idxs := range byGID {
+		if len(idxs) > 1 {
+			h.groups = append(h.groups, idxs)
+		}
+	}
+	return h
+}
+
+// N returns the local vector length the handle was built for.
+func (h *Handle) N() int { return h.n }
+
+// Apply performs the gather–scatter on u in place: each group of local
+// copies of a shared node is reduced with op and the result written back to
+// all copies (the paper's gs-op).
+func (h *Handle) Apply(u []float64, op Op) {
+	for _, g := range h.groups {
+		acc := u[g[0]]
+		for _, i := range g[1:] {
+			acc = combine(op, acc, u[i])
+		}
+		for _, i := range g {
+			u[i] = acc
+		}
+	}
+}
+
+// ApplyFields is the vector mode: the same exchange applied to several
+// fields (e.g. the d velocity components) in one pass over the topology.
+func (h *Handle) ApplyFields(op Op, fields ...[]float64) {
+	for _, g := range h.groups {
+		for _, u := range fields {
+			acc := u[g[0]]
+			for _, i := range g[1:] {
+				acc = combine(op, acc, u[i])
+			}
+			for _, i := range g {
+				u[i] = acc
+			}
+		}
+	}
+}
+
+// Multiplicity returns, per local node, the number of local copies sharing
+// its global id (the inverse of this vector converts assembled sums to
+// averages).
+func (h *Handle) Multiplicity() []float64 {
+	m := make([]float64, h.n)
+	for i := range m {
+		m[i] = 1
+	}
+	h.Apply(m, Sum)
+	return m
+}
+
+// DotAssembled computes the global inner product Σ_g u_g v_g over distinct
+// global nodes, given element-local vectors (each shared node counted
+// once): it divides by multiplicity.
+func (h *Handle) DotAssembled(u, v []float64) float64 {
+	m := h.Multiplicity()
+	var s float64
+	for i := range u {
+		s += u[i] * v[i] / m[i]
+	}
+	return s
+}
+
+// ---- Distributed gather–scatter ----
+
+// ParHandle runs the gather–scatter across ranks: local groups are combined
+// first, then contributions for globals shared with other ranks are
+// exchanged pairwise with each neighbour, exactly the paper's single
+// communication phase.
+type ParHandle struct {
+	local *Handle
+	rank  *comm.Rank
+	// For each neighbour rank: the shared global ids (sorted), and for each
+	// such gid one representative local index plus all local indices.
+	neighbours []neighbour
+	repIdx     map[int64]int32   // gid -> representative local index
+	allIdx     map[int64][]int32 // gid -> all local indices
+}
+
+type neighbour struct {
+	rank int
+	gids []int64 // sorted shared gids
+}
+
+const (
+	tagSetupToOwner = 1000
+	tagSetupFromOwn = 2000
+	tagExchange     = 3000
+)
+
+// ParInit builds a distributed handle. Every rank calls it collectively
+// with its local global ids. Neighbour discovery routes through hashed
+// "owner" ranks (setup only); the recurring exchange is pairwise.
+func ParInit(r *comm.Rank, gids []int64) *ParHandle {
+	p := r.P()
+	h := &ParHandle{local: Init(gids), rank: r,
+		repIdx: make(map[int64]int32), allIdx: make(map[int64][]int32)}
+	for i, g := range gids {
+		if _, ok := h.repIdx[g]; !ok {
+			h.repIdx[g] = int32(i)
+		}
+		h.allIdx[g] = append(h.allIdx[g], int32(i))
+	}
+	if p == 1 {
+		return h
+	}
+	owner := func(g int64) int { return int(g % int64(p)) }
+	// 1. Tell each owner which of its gids we hold.
+	toOwner := make([][]float64, p)
+	for g := range h.repIdx {
+		o := owner(g)
+		toOwner[o] = append(toOwner[o], float64(g))
+	}
+	for q := 0; q < p; q++ {
+		if q == r.ID {
+			continue
+		}
+		r.Send(q, tagSetupToOwner, toOwner[q])
+	}
+	holders := make(map[int64][]int) // for gids owned here
+	record := func(src int, list []float64) {
+		for _, gf := range list {
+			g := int64(gf)
+			holders[g] = append(holders[g], src)
+		}
+	}
+	record(r.ID, toOwner[r.ID])
+	for q := 0; q < p; q++ {
+		if q == r.ID {
+			continue
+		}
+		record(q, r.Recv(q, tagSetupToOwner))
+	}
+	// 2. Owners answer every holder with (gid, holder list) for shared gids.
+	reply := make([][]float64, p)
+	for g, hs := range holders {
+		if len(hs) < 2 {
+			continue
+		}
+		for _, dst := range hs {
+			msg := []float64{float64(g), float64(len(hs))}
+			for _, other := range hs {
+				if other != dst {
+					msg = append(msg, float64(other))
+				}
+			}
+			reply[dst] = append(reply[dst], msg...)
+		}
+	}
+	for q := 0; q < p; q++ {
+		if q == r.ID {
+			continue
+		}
+		r.Send(q, tagSetupFromOwn, reply[q])
+	}
+	shared := make(map[int][]int64) // neighbour rank -> shared gids
+	parse := func(list []float64) {
+		for i := 0; i < len(list); {
+			g := int64(list[i])
+			cnt := int(list[i+1])
+			for k := 0; k < cnt-1; k++ {
+				q := int(list[i+2+k])
+				shared[q] = append(shared[q], g)
+			}
+			i += 1 + cnt
+		}
+	}
+	parse(reply[r.ID])
+	for q := 0; q < p; q++ {
+		if q == r.ID {
+			continue
+		}
+		parse(r.Recv(q, tagSetupFromOwn))
+	}
+	for q, gs := range shared {
+		sortInt64(gs)
+		h.neighbours = append(h.neighbours, neighbour{rank: q, gids: gs})
+	}
+	// Deterministic neighbour order.
+	for i := 1; i < len(h.neighbours); i++ {
+		for j := i; j > 0 && h.neighbours[j].rank < h.neighbours[j-1].rank; j-- {
+			h.neighbours[j], h.neighbours[j-1] = h.neighbours[j-1], h.neighbours[j]
+		}
+	}
+	return h
+}
+
+func sortInt64(a []int64) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// Apply performs the distributed gather–scatter on the local vector u.
+func (h *ParHandle) Apply(u []float64, op Op) {
+	// Local combine first.
+	h.local.Apply(u, op)
+	if len(h.neighbours) == 0 {
+		return
+	}
+	// Pairwise exchange: send my combined value for each shared gid.
+	for _, nb := range h.neighbours {
+		msg := make([]float64, len(nb.gids))
+		for i, g := range nb.gids {
+			msg[i] = u[h.repIdx[g]]
+		}
+		h.rank.Send(nb.rank, tagExchange, msg)
+	}
+	// Accumulate neighbour contributions on top of the local combined
+	// values (op is commutative/associative, so pairwise folding is exact
+	// in the same sense as the paper's implementation).
+	acc := make(map[int64]float64, 64)
+	for _, nb := range h.neighbours {
+		got := h.rank.Recv(nb.rank, tagExchange)
+		for i, g := range nb.gids {
+			v, ok := acc[g]
+			if !ok {
+				v = u[h.repIdx[g]]
+			}
+			acc[g] = combine(op, v, got[i])
+		}
+	}
+	for g, v := range acc {
+		for _, i := range h.allIdx[g] {
+			u[i] = v
+		}
+	}
+}
+
+// Local returns the serial handle for rank-local operations.
+func (h *ParHandle) Local() *Handle { return h.local }

@@ -1,0 +1,211 @@
+package gs
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/comm"
+	"repro/internal/mesh"
+)
+
+func TestApplySum(t *testing.T) {
+	gids := []int64{0, 1, 1, 2, 0, 3}
+	h := Init(gids)
+	u := []float64{1, 2, 3, 4, 5, 6}
+	h.Apply(u, Sum)
+	want := []float64{6, 5, 5, 4, 6, 6}
+	for i := range u {
+		if u[i] != want[i] {
+			t.Fatalf("sum: got %v want %v", u, want)
+		}
+	}
+}
+
+func TestApplyMinMaxMul(t *testing.T) {
+	gids := []int64{7, 7, 7, 9}
+	h := Init(gids)
+	u := []float64{3, -1, 2, 5}
+	h.Apply(u, Min)
+	if u[0] != -1 || u[1] != -1 || u[2] != -1 || u[3] != 5 {
+		t.Fatalf("min: %v", u)
+	}
+	u = []float64{3, -1, 2, 5}
+	h.Apply(u, Max)
+	if u[0] != 3 || u[2] != 3 {
+		t.Fatalf("max: %v", u)
+	}
+	u = []float64{3, -1, 2, 5}
+	h.Apply(u, Mul)
+	if u[0] != -6 || u[1] != -6 || u[2] != -6 || u[3] != 5 {
+		t.Fatalf("mul: %v", u)
+	}
+}
+
+func TestMultiplicity(t *testing.T) {
+	gids := []int64{0, 1, 1, 2, 0, 0}
+	h := Init(gids)
+	m := h.Multiplicity()
+	want := []float64{3, 2, 2, 1, 3, 3}
+	for i := range m {
+		if m[i] != want[i] {
+			t.Fatalf("multiplicity %v want %v", m, want)
+		}
+	}
+}
+
+func TestApplyFieldsMatchesApply(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	gids := make([]int64, 50)
+	for i := range gids {
+		gids[i] = int64(rng.Intn(20))
+	}
+	h := Init(gids)
+	u1 := make([]float64, 50)
+	u2 := make([]float64, 50)
+	for i := range u1 {
+		u1[i] = rng.NormFloat64()
+		u2[i] = rng.NormFloat64()
+	}
+	v1 := append([]float64(nil), u1...)
+	v2 := append([]float64(nil), u2...)
+	h.Apply(v1, Sum)
+	h.Apply(v2, Sum)
+	h.ApplyFields(Sum, u1, u2)
+	for i := range u1 {
+		if u1[i] != v1[i] || u2[i] != v2[i] {
+			t.Fatal("vector mode disagrees with scalar mode")
+		}
+	}
+}
+
+func TestApplyIdempotentAfterAssembly(t *testing.T) {
+	// Property: after one Sum gather-scatter, all copies of a global agree,
+	// so Min/Max leave the vector unchanged, and the second Sum multiplies
+	// shared values by their multiplicity.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(60)
+		gids := make([]int64, n)
+		for i := range gids {
+			gids[i] = int64(rng.Intn(n/2 + 1))
+		}
+		h := Init(gids)
+		u := make([]float64, n)
+		for i := range u {
+			u[i] = rng.NormFloat64()
+		}
+		h.Apply(u, Sum)
+		v := append([]float64(nil), u...)
+		h.Apply(v, Min)
+		for i := range u {
+			if v[i] != u[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDotAssembledCountsGlobalsOnce(t *testing.T) {
+	gids := []int64{0, 0, 1}
+	h := Init(gids)
+	u := []float64{2, 2, 3} // assembled field: global 0 has value 2
+	if got := h.DotAssembled(u, u); math.Abs(got-(4+9)) > 1e-14 {
+		t.Errorf("DotAssembled = %g, want 13", got)
+	}
+}
+
+func TestMeshAssemblyConstantField(t *testing.T) {
+	// On a mesh, gather-scatter of the constant 1 gives the multiplicity;
+	// dividing back must recover 1 everywhere.
+	spec := mesh.Box2D(mesh.Box2DSpec{Nx: 3, Ny: 2, X1: 3, Y1: 2})
+	m, err := mesh.Discretize(spec, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := Init(m.GID)
+	u := make([]float64, len(m.GID))
+	for i := range u {
+		u[i] = 1
+	}
+	h.Apply(u, Sum)
+	mult := h.Multiplicity()
+	for i := range u {
+		if u[i] != mult[i] {
+			t.Fatal("assembled constant != multiplicity")
+		}
+		if mult[i] != 1 && mult[i] != 2 && mult[i] != 4 {
+			t.Fatalf("unexpected multiplicity %g on structured quad mesh", mult[i])
+		}
+	}
+}
+
+// parallel gather-scatter across a partitioned strip of elements.
+func TestParallelMatchesSerial(t *testing.T) {
+	for _, p := range []int{1, 2, 4} {
+		spec := mesh.Box2D(mesh.Box2DSpec{Nx: 8, Ny: 1, X1: 8, Y1: 1})
+		m, err := mesh.Discretize(spec, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(7))
+		u := make([]float64, len(m.GID))
+		for i := range u {
+			u[i] = rng.NormFloat64()
+		}
+		// Serial reference.
+		ref := append([]float64(nil), u...)
+		Init(m.GID).Apply(ref, Sum)
+
+		// Partition elements blockwise: elements e with e%p == rank? use
+		// contiguous blocks so neighbours are cross-rank.
+		perRank := m.K / p
+		net := comm.NewNetwork(comm.Machine{P: p, Latency: 1e-6, ByteSec: 1e-9, FlopSec: 1e-9})
+		results := make([][]float64, p)
+		net.Run(func(r *comm.Rank) {
+			e0 := r.ID * perRank
+			e1 := e0 + perRank
+			gids := m.GID[e0*m.Np : e1*m.Np]
+			local := append([]float64(nil), u[e0*m.Np:e1*m.Np]...)
+			h := ParInit(r, gids)
+			h.Apply(local, Sum)
+			results[r.ID] = local
+		})
+		for rk := 0; rk < p; rk++ {
+			off := rk * perRank * m.Np
+			for i, v := range results[rk] {
+				if math.Abs(v-ref[off+i]) > 1e-12 {
+					t.Fatalf("P=%d rank %d: parallel gs mismatch at %d: %g vs %g",
+						p, rk, i, v, ref[off+i])
+				}
+			}
+		}
+	}
+}
+
+func TestParallelMinOp(t *testing.T) {
+	p := 3
+	// Three ranks each hold gids {0, rank+1}; gid 0 shared by all.
+	net := comm.NewNetwork(comm.Machine{P: p, Latency: 1e-6, ByteSec: 1e-9, FlopSec: 1e-9})
+	results := make([][]float64, p)
+	net.Run(func(r *comm.Rank) {
+		gids := []int64{0, int64(r.ID + 1)}
+		u := []float64{float64(10 - r.ID), float64(r.ID)}
+		h := ParInit(r, gids)
+		h.Apply(u, Min)
+		results[r.ID] = u
+	})
+	for rk := 0; rk < p; rk++ {
+		if results[rk][0] != 8 { // min(10, 9, 8)
+			t.Fatalf("rank %d: shared min = %g, want 8", rk, results[rk][0])
+		}
+		if results[rk][1] != float64(rk) {
+			t.Fatalf("rank %d: private value clobbered", rk)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package la
+
+import (
+	"fmt"
+	"math/cmplx"
+)
+
+// CLU is a complex dense LU factorization with partial pivoting, used by the
+// Orr–Sommerfeld shift-invert eigensolver that supplies the Table 1
+// reference growth rate.
+type CLU struct {
+	n   int
+	lu  []complex128
+	piv []int
+}
+
+// FactorCLU computes the LU factorization of the complex n x n matrix a
+// (row-major); a is copied, not modified.
+func FactorCLU(a []complex128, n int) (*CLU, error) {
+	f := &CLU{n: n, lu: make([]complex128, n*n), piv: make([]int, n)}
+	copy(f.lu, a)
+	lu := f.lu
+	for k := 0; k < n; k++ {
+		p, pmax := k, cmplx.Abs(lu[k*n+k])
+		for i := k + 1; i < n; i++ {
+			if v := cmplx.Abs(lu[i*n+k]); v > pmax {
+				p, pmax = i, v
+			}
+		}
+		if pmax == 0 {
+			return nil, fmt.Errorf("la: singular complex matrix at column %d", k)
+		}
+		f.piv[k] = p
+		if p != k {
+			rk, rp := lu[k*n:k*n+n], lu[p*n:p*n+n]
+			for j := range rk {
+				rk[j], rp[j] = rp[j], rk[j]
+			}
+		}
+		pivv := lu[k*n+k]
+		for i := k + 1; i < n; i++ {
+			m := lu[i*n+k] / pivv
+			lu[i*n+k] = m
+			if m == 0 {
+				continue
+			}
+			ri, rk := lu[i*n:i*n+n], lu[k*n:k*n+n]
+			for j := k + 1; j < n; j++ {
+				ri[j] -= m * rk[j]
+			}
+		}
+	}
+	return f, nil
+}
+
+// Solve overwrites x with A⁻¹ b; b and x may alias.
+func (f *CLU) Solve(x, b []complex128) {
+	n := f.n
+	if &x[0] != &b[0] {
+		copy(x, b)
+	}
+	// Row interchanges first (full-row-swap factorization), then substitute.
+	for k := 0; k < n; k++ {
+		if p := f.piv[k]; p != k {
+			x[k], x[p] = x[p], x[k]
+		}
+	}
+	for k := 0; k < n; k++ {
+		xk := x[k]
+		if xk == 0 {
+			continue
+		}
+		for i := k + 1; i < n; i++ {
+			x[i] -= f.lu[i*n+k] * xk
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		ri := f.lu[i*n : i*n+n]
+		for j := i + 1; j < n; j++ {
+			s -= ri[j] * x[j]
+		}
+		x[i] = s / ri[i]
+	}
+}
+
+// CMatVec computes y = A*x for a complex m x n row-major matrix.
+func CMatVec(y, a, x []complex128, m, n int) {
+	for i := 0; i < m; i++ {
+		ar := a[i*n : i*n+n]
+		var s complex128
+		for j, v := range ar {
+			s += v * x[j]
+		}
+		y[i] = s
+	}
+}

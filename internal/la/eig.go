@@ -1,0 +1,142 @@
+package la
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// SymEig computes all eigenvalues and eigenvectors of the symmetric n x n
+// matrix a (row-major) using the cyclic Jacobi rotation method. It returns
+// eigenvalues in ascending order and the matrix of eigenvectors stored
+// column-wise (v[i*n+j] is component i of eigenvector j), so that
+// A V = V diag(w).
+func SymEig(a []float64, n int) (w []float64, v []float64, err error) {
+	d := make([]float64, n*n)
+	copy(d, a)
+	v = make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		v[i*n+i] = 1
+	}
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += d[i*n+j] * d[i*n+j]
+			}
+		}
+		if off < 1e-300 {
+			break
+		}
+		frob := 0.0
+		for i := 0; i < n*n; i++ {
+			frob += d[i] * d[i]
+		}
+		if off <= 1e-30*frob {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := d[p*n+q]
+				if apq == 0 {
+					continue
+				}
+				app, aqq := d[p*n+p], d[q*n+q]
+				theta := (aqq - app) / (2 * apq)
+				var t float64
+				if theta >= 0 {
+					t = 1 / (theta + math.Sqrt(1+theta*theta))
+				} else {
+					t = -1 / (-theta + math.Sqrt(1+theta*theta))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := t * c
+				// Apply rotation to rows/cols p and q of d.
+				for k := 0; k < n; k++ {
+					dkp, dkq := d[k*n+p], d[k*n+q]
+					d[k*n+p] = c*dkp - s*dkq
+					d[k*n+q] = s*dkp + c*dkq
+				}
+				for k := 0; k < n; k++ {
+					dpk, dqk := d[p*n+k], d[q*n+k]
+					d[p*n+k] = c*dpk - s*dqk
+					d[q*n+k] = s*dpk + c*dqk
+				}
+				for k := 0; k < n; k++ {
+					vkp, vkq := v[k*n+p], v[k*n+q]
+					v[k*n+p] = c*vkp - s*vkq
+					v[k*n+q] = s*vkp + c*vkq
+				}
+			}
+		}
+		if sweep == maxSweeps-1 {
+			return nil, nil, fmt.Errorf("la: Jacobi eigensolver did not converge in %d sweeps", maxSweeps)
+		}
+	}
+	w = make([]float64, n)
+	for i := 0; i < n; i++ {
+		w[i] = d[i*n+i]
+	}
+	// Sort eigenpairs ascending by eigenvalue.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return w[idx[i]] < w[idx[j]] })
+	ws := make([]float64, n)
+	vs := make([]float64, n*n)
+	for j, src := range idx {
+		ws[j] = w[src]
+		for i := 0; i < n; i++ {
+			vs[i*n+j] = v[i*n+src]
+		}
+	}
+	return ws, vs, nil
+}
+
+// GenSymEig solves the generalized symmetric-definite eigenproblem
+// A z = λ B z, with A symmetric and B symmetric positive definite, by the
+// standard reduction C = L⁻¹ A L⁻ᵀ where B = L Lᵀ. It returns eigenvalues in
+// ascending order and B-orthonormal eigenvectors stored column-wise
+// (Zᵀ B Z = I). This is the kernel of the fast diagonalization method
+// (Sec. 5 of the paper, after Lynch, Rice & Thomas 1964).
+func GenSymEig(a, b []float64, n int) (w []float64, z []float64, err error) {
+	chol, err := FactorCholesky(b, n)
+	if err != nil {
+		return nil, nil, fmt.Errorf("la: GenSymEig mass matrix: %w", err)
+	}
+	// C = L⁻¹ A L⁻ᵀ: first Y = L⁻¹ A (solve L Y = A column-wise on rows),
+	// then C = Y L⁻ᵀ, i.e. Cᵀ = L⁻¹ Yᵀ.
+	c := make([]float64, n*n)
+	col := make([]float64, n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			col[i] = a[i*n+j]
+		}
+		chol.SolveLower(col, col)
+		for i := 0; i < n; i++ {
+			c[i*n+j] = col[i]
+		}
+	}
+	for i := 0; i < n; i++ {
+		row := c[i*n : i*n+n]
+		chol.SolveLower(row, row) // row i of C = L⁻¹ (Y row i)ᵀ... (Y Lᵀ⁻¹ row)
+	}
+	w, y, err := SymEig(c, n)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Back-transform: z_j = L⁻ᵀ y_j.
+	z = make([]float64, n*n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			col[i] = y[i*n+j]
+		}
+		chol.SolveUpper(col, col)
+		for i := 0; i < n; i++ {
+			z[i*n+j] = col[i]
+		}
+	}
+	return w, z, nil
+}

@@ -1,0 +1,113 @@
+package mesh
+
+import "math"
+
+// CylinderOGridSpec describes the cylinder-in-square O-grid used for the
+// Table 2 preconditioner study: NTheta sectors around a cylinder of radius
+// R, NLayer radial element layers blending from the circle to the boundary
+// of a square of half-width H, with geometric grading that concentrates
+// thin, high-aspect-ratio layers at the cylinder wall (the mesh property
+// that drives the iteration growth in Table 2).
+type CylinderOGridSpec struct {
+	NTheta, NLayer int
+	R, H           float64
+	WallRatio      float64 // last/first radial layer thickness ratio (>1 grades toward wall)
+}
+
+// CylinderOGrid builds the 2D O-grid spec (a square domain with a circular
+// hole, covered by NTheta*NLayer deformed quadrilaterals).
+func CylinderOGrid(s CylinderOGridSpec) *Spec {
+	spec := &Spec{Dim: 2}
+	grade := GeomGrading(s.WallRatio)
+	rho := func(il int) float64 {
+		t := float64(il) / float64(s.NLayer)
+		if grade != nil {
+			t = grade(t)
+		}
+		return t
+	}
+	// Point at blending parameter t ∈ [0,1] (0 = cylinder, 1 = square rim)
+	// and angle theta.
+	point := func(t, theta float64) (float64, float64) {
+		c, sn := math.Cos(theta), math.Sin(theta)
+		// Square rim point along the ray.
+		den := math.Max(math.Abs(c), math.Abs(sn))
+		sx, sy := s.H*c/den, s.H*sn/den
+		cx, cy := s.R*c, s.R*sn
+		return (1-t)*cx + t*sx, (1-t)*cy + t*sy
+	}
+	theta := func(it int) float64 { return 2 * math.Pi * float64(it) / float64(s.NTheta) }
+
+	vid := make(map[[2]int]int)
+	addVert := func(it, il int) int {
+		it = it % s.NTheta
+		key := [2]int{it, il}
+		if id, ok := vid[key]; ok {
+			return id
+		}
+		x, y := point(rho(il), theta(it))
+		id := len(spec.Verts)
+		spec.Verts = append(spec.Verts, [3]float64{x, y, 0})
+		vid[key] = id
+		return id
+	}
+	// Reference r runs radially outward, s runs counterclockwise in theta:
+	// this ordering keeps the Jacobian positive.
+	for il := 0; il < s.NLayer; il++ {
+		t0, t1 := rho(il), rho(il+1)
+		for it := 0; it < s.NTheta; it++ {
+			th0, th1 := theta(it), theta(it+1)
+			el := Element{Verts: []int{
+				addVert(it, il), addVert(it, il+1),
+				addVert(it+1, il), addVert(it+1, il+1),
+			}}
+			el.Map = func(r, sc, _ float64) (float64, float64, float64) {
+				t := t0 + (t1-t0)*(r+1)/2
+				th := th0 + (th1-th0)*(sc+1)/2
+				x, y := point(t, th)
+				return x, y, 0
+			}
+			spec.Elems = append(spec.Elems, el)
+		}
+	}
+	return spec
+}
+
+// HemisphereBoxSpec describes the 3D flat-plate-with-roughness-element
+// stand-in for the paper's hairpin-vortex production mesh: a boundary-layer
+// box graded toward the wall, with a smooth hemispherical bump of height
+// Height and radius Radius centred at (Cx, Cy) deforming the bottom wall.
+type HemisphereBoxSpec struct {
+	Nx, Ny, Nz     int
+	Lx, Ly, Lz     float64
+	Cx, Cy         float64
+	Radius, Height float64
+	WallRatio      float64 // z-grading toward the wall (boundary layer)
+}
+
+// HemisphereBox builds the deformed 3D box spec.
+func HemisphereBox(s HemisphereBoxSpec) *Spec {
+	gradeZ := func(t float64) float64 {
+		if s.WallRatio == 1 || s.WallRatio == 0 {
+			return t
+		}
+		q := 1 / s.WallRatio // thin layers at z=0
+		return (math.Pow(q, t) - 1) / (q - 1)
+	}
+	bump := func(x, y float64) float64 {
+		dx, dy := x-s.Cx, y-s.Cy
+		r2 := (dx*dx + dy*dy) / (s.Radius * s.Radius)
+		return s.Height * math.Exp(-2*r2)
+	}
+	deform := func(x, y, z float64) (float64, float64, float64) {
+		// Lift the wall by the bump, decaying linearly to the top.
+		b := bump(x, y) * (1 - z/s.Lz)
+		return x, y, z + b
+	}
+	return Box3D(Box3DSpec{
+		Nx: s.Nx, Ny: s.Ny, Nz: s.Nz,
+		X0: 0, X1: s.Lx, Y0: 0, Y1: s.Ly, Z0: 0, Z1: s.Lz,
+		GradeZ: gradeZ,
+		Deform: deform,
+	})
+}

@@ -1,0 +1,243 @@
+package ns
+
+import (
+	"fmt"
+
+	"repro/internal/gs"
+	"repro/internal/sem"
+	"repro/internal/solver"
+)
+
+// getBuf hands out n-length scratch slices from a free list.
+func (s *Solver) getBuf() []float64 {
+	if len(s.bufPool) > 0 {
+		b := s.bufPool[len(s.bufPool)-1]
+		s.bufPool = s.bufPool[:len(s.bufPool)-1]
+		return b
+	}
+	return make([]float64, s.n)
+}
+
+func (s *Solver) putBuf(b ...[]float64) {
+	s.bufPool = append(s.bufPool, b...)
+}
+
+// advectingField evaluates the advecting velocity at relative time t
+// (t = 0 is the new time level) by Lagrange interpolation/extrapolation of
+// the history fields hist[k] at times -(k+1)·Δt — the OIFS treatment of the
+// material derivative (Sec. 4 of the paper).
+func (s *Solver) advectingField(t float64, hist [][3][]float64) [3][]float64 {
+	k := len(hist)
+	coef := make([]float64, k)
+	tk := func(q int) float64 { return -float64(q+1) * s.Cfg.Dt }
+	for q := 0; q < k; q++ {
+		l := 1.0
+		for j := 0; j < k; j++ {
+			if j != q {
+				l *= (t - tk(j)) / (tk(q) - tk(j))
+			}
+		}
+		coef[q] = l
+	}
+	var c [3][]float64
+	for d := 0; d < s.dim; d++ {
+		c[d] = s.getBuf()
+		cd := c[d]
+		for i := range cd {
+			cd[i] = 0
+		}
+		for q := 0; q < k; q++ {
+			hq := hist[q][d]
+			cq := coef[q]
+			if cq == 0 {
+				continue
+			}
+			for i := range cd {
+				cd[i] += cq * hq[i]
+			}
+		}
+	}
+	return c
+}
+
+func (s *Solver) releaseField(c [3][]float64) {
+	for d := 0; d < s.dim; d++ {
+		s.putBuf(c[d])
+	}
+}
+
+// convect computes the advection right-hand side in skew-symmetric form,
+//
+//	out = -(c·∇)v - skew·½(∇·c)v,
+//
+// where the optional skew correction (Solver.skewWeight, default 0) makes
+// the operator energy-neutral in exact arithmetic. The default is the
+// plain convective form: for P_N–P_{N-2} fields the *pointwise* divergence
+// of the advecting field is not small (only its weak divergence vanishes),
+// so the skew term injects high-mode noise and is disabled; the
+// once-per-step filter supplies the stabilization (Sec. 2). divc is ∇·c
+// precomputed per stage.
+func (s *Solver) convect(out, v []float64, c [3][]float64, divc []float64) {
+	g := make([][]float64, s.dim)
+	for d := 0; d < s.dim; d++ {
+		g[d] = s.getBuf()
+	}
+	s.DN.Grad(g, v)
+	sw := s.Cfg.SkewWeight
+	if sw == 0 {
+		for i := range out {
+			var adv float64
+			for d := 0; d < s.dim; d++ {
+				adv += c[d][i] * g[d][i]
+			}
+			out[i] = -adv
+		}
+	} else {
+		for i := range out {
+			var adv float64
+			for d := 0; d < s.dim; d++ {
+				adv += c[d][i] * g[d][i]
+			}
+			out[i] = -adv - sw*0.5*divc[i]*v[i]
+		}
+	}
+	s.putBuf(g...)
+	s.D.CountFlops(int64((2*s.dim + 3) * s.n))
+}
+
+// divergencePointwise computes ∇·c at the GLL nodes.
+func (s *Solver) divergencePointwise(out []float64, c [3][]float64) {
+	g := make([][]float64, s.dim)
+	for d := 0; d < s.dim; d++ {
+		g[d] = s.getBuf()
+	}
+	for i := range out {
+		out[i] = 0
+	}
+	for d := 0; d < s.dim; d++ {
+		s.DN.Grad(g, c[d])
+		gd := g[d]
+		for i := range out {
+			out[i] += gd[i]
+		}
+	}
+	s.putBuf(g...)
+}
+
+// rk4AdvectFields advances the given fields through one RK4 substep of the
+// pure advection equation dv/dt = -(c(τ)·∇)v, τ from t0 to t0+h.
+func (s *Solver) rk4AdvectFields(fields [][]float64, t0, h float64, hist [][3][]float64) {
+	c1 := s.advectingField(t0, hist)
+	c2 := s.advectingField(t0+h/2, hist)
+	c4 := s.advectingField(t0+h, hist)
+	d1 := s.getBuf()
+	d2 := s.getBuf()
+	d4 := s.getBuf()
+	if s.Cfg.SkewWeight != 0 {
+		s.divergencePointwise(d1, c1)
+		s.divergencePointwise(d2, c2)
+		s.divergencePointwise(d4, c4)
+	}
+	k1 := s.getBuf()
+	k2 := s.getBuf()
+	k3 := s.getBuf()
+	k4 := s.getBuf()
+	tmp := s.getBuf()
+	for _, f := range fields {
+		s.convect(k1, f, c1, d1)
+		for i := range tmp {
+			tmp[i] = f[i] + h/2*k1[i]
+		}
+		s.convect(k2, tmp, c2, d2)
+		for i := range tmp {
+			tmp[i] = f[i] + h/2*k2[i]
+		}
+		s.convect(k3, tmp, c2, d2)
+		for i := range tmp {
+			tmp[i] = f[i] + h*k3[i]
+		}
+		s.convect(k4, tmp, c4, d4)
+		for i := range f {
+			f[i] += h / 6 * (k1[i] + 2*k2[i] + 2*k3[i] + k4[i])
+		}
+	}
+	s.putBuf(k1, k2, k3, k4, tmp, d1, d2, d4)
+	s.releaseField(c1)
+	s.releaseField(c2)
+	s.releaseField(c4)
+	s.D.CountFlops(int64(10 * s.n * len(fields)))
+}
+
+// massAverage projects an element-discontinuous field back onto the C0
+// space by mass-weighted direct-stiffness averaging:
+// v ← B̃⁻¹ QQᵀ (B v).
+func (s *Solver) massAverage(v []float64) {
+	b := s.M.B
+	for i := range v {
+		v[i] *= b[i]
+	}
+	s.D.GS.Apply(v, gs.Sum)
+	for i := range v {
+		v[i] /= s.bAssem[i]
+	}
+	s.D.CountFlops(int64(3 * s.n))
+}
+
+// scalarSolve performs the implicit advection–diffusion solve for the
+// scalar field.
+func (s *Solver) scalarSolve(tTil [][]float64, gamma []float64, beta, tNew float64) (int, error) {
+	cfg := s.Cfg.Scalar
+	m := s.M
+	var d *sem.Disc = s.DS
+	h1 := cfg.Diffusivity
+	h2 := beta / s.Cfg.Dt
+	b := make([]float64, s.n)
+	for i := 0; i < s.n; i++ {
+		var sum float64
+		for q := range tTil {
+			sum += gamma[q] * tTil[q][i]
+		}
+		b[i] = m.B[i] * sum / s.Cfg.Dt
+	}
+	if cfg.Forcing != nil {
+		for i := 0; i < s.n; i++ {
+			b[i] += m.B[i] * cfg.Forcing(m.X[i], m.Y[i], m.Zc[i], tNew)
+		}
+	}
+	d.Assemble(b)
+	// Dirichlet lifting.
+	tn := s.T
+	if d.Mask != nil && cfg.DirichletVal != nil {
+		for i, mk := range d.Mask {
+			if mk == 0 {
+				tn[i] = cfg.DirichletVal(m.X[i], m.Y[i], m.Zc[i], tNew)
+			}
+		}
+	}
+	ht := make([]float64, s.n)
+	d.Helmholtz(ht, tn, h1, h2)
+	for i := range b {
+		b[i] -= ht[i]
+	}
+	if d.Mask != nil {
+		for i, mk := range d.Mask {
+			b[i] *= mk
+		}
+	}
+	diag := d.HelmholtzDiag(h1, h2)
+	jac := func(out, in []float64) {
+		for i := range in {
+			out[i] = in[i] / diag[i]
+		}
+	}
+	du := make([]float64, s.n)
+	st := solver.CG(func(out, in []float64) { d.Helmholtz(out, in, h1, h2) },
+		d.Dot, du, b, solver.Options{Tol: s.Cfg.VTol, Relative: true, MaxIter: 1000, Precond: jac})
+	if !st.Converged && st.FinalRes > 1e-6 {
+		return st.Iterations, fmt.Errorf("ns: scalar Helmholtz solve failed (res %g)", st.FinalRes)
+	}
+	for i := range tn {
+		tn[i] += du[i]
+	}
+	return st.Iterations, nil
+}

@@ -1,0 +1,324 @@
+// Package ns integrates the unsteady incompressible Navier–Stokes
+// equations with the paper's spectral element formulation (Secs. 2, 4, 5):
+//
+//   - P_N – P_{N-2} velocity/pressure spaces (velocity on Gauss–Lobatto
+//     nodes, pressure on the staggered Gauss grid, no pressure continuity),
+//   - semi-implicit operator splitting: BDF2/BDF3 treatment of the Stokes
+//     operator with explicit subintegration of the convection term along
+//     characteristics (OIFS), permitting convective CFL numbers of 1–5,
+//   - per-component Helmholtz solves by Jacobi-preconditioned CG,
+//   - the consistent pressure Poisson operator E = D B̃⁻¹ Dᵀ solved by CG
+//     with projection onto previous solutions (Fischer 1998) and an
+//     additive-Schwarz/FDM + coarse-grid preconditioner,
+//   - once-per-step Fischer–Mullen filter stabilization, and
+//   - optional Boussinesq scalar transport for buoyancy-driven flows.
+package ns
+
+import (
+	"fmt"
+
+	"repro/internal/gs"
+	"repro/internal/mesh"
+	"repro/internal/poly"
+	"repro/internal/schwarz"
+	"repro/internal/sem"
+	"repro/internal/solver"
+)
+
+// ScalarConfig enables an advected–diffused scalar (temperature) coupled
+// back to the momentum equation through a Boussinesq buoyancy term.
+type ScalarConfig struct {
+	Diffusivity   float64
+	Buoyancy      [3]float64                       // force = Buoyancy * T
+	DirichletMask func(x, y, z float64) bool       // nil = no scalar Dirichlet
+	DirichletVal  func(x, y, z, t float64) float64 // boundary value
+	Initial       func(x, y, z float64) float64    // initial condition
+	Forcing       func(x, y, z, t float64) float64 // volumetric source
+}
+
+// Config describes a Navier–Stokes problem.
+type Config struct {
+	Mesh  *mesh.Mesh
+	Re    float64
+	Dt    float64
+	Order int // BDF order of the splitting: 2 (default) or 3
+
+	FilterAlpha  float64 // Fischer–Mullen filter strength (0 = off)
+	FilterCutoff int     // first damped mode (0 = N: damp the top mode only)
+	Workers      int     // element-loop workers (the dual-processor mode)
+
+	// Velocity Dirichlet boundary: region selector and value. nil mask
+	// means no Dirichlet boundary (fully periodic domains).
+	DirichletMask func(x, y, z float64) bool
+	DirichletVal  func(x, y, z, t float64) (u, v, w float64)
+
+	// Body force per unit mass (optional).
+	Forcing func(x, y, z, t float64) (fx, fy, fz float64)
+
+	Scalar *ScalarConfig // optional Boussinesq scalar
+
+	ProjectionL int     // pressure projection basis size L (0 disables)
+	PTol        float64 // pressure CG tolerance (default 1e-7, absolute on ‖r‖)
+	VTol        float64 // velocity CG tolerance (default 1e-9)
+	SubCFL      float64 // target CFL per convective substep (default 0.5)
+	SkewWeight  float64 // skew-symmetric convection blend (0 = plain form, default)
+	PMaxIter    int     // pressure CG iteration cap (default 500)
+
+	// PressurePrecond selects the E-preconditioner: "schwarz" (default) or
+	// "none".
+	PressurePrecond string
+}
+
+// StepStats reports one time step.
+type StepStats struct {
+	Step            int
+	Time            float64
+	PressureIters   int
+	PressureRes0    float64 // residual before CG (after projection)
+	HelmholtzIters  [3]int
+	ScalarIters     int
+	Substeps        int
+	CFL             float64
+	ProjectionBasis int
+}
+
+// Solver holds the time-stepping state.
+type Solver struct {
+	Cfg  Config
+	M    *mesh.Mesh
+	D    *sem.Disc // velocity-grid operators (masked)
+	DN   *sem.Disc // unmasked operators (pressure preconditioning)
+	dim  int
+	n    int // velocity dofs per component (K*Np)
+	step int
+	time float64
+
+	maskV []float64 // velocity Dirichlet mask
+
+	// Pressure (Gauss) grid.
+	npp      int       // pressure nodes per element
+	np1, nm1 int       // N+1, N-1
+	interpVP []float64 // (N-1)x(N+1) GLL -> Gauss interpolation
+	interpPV []float64 // (N+1)x(N-1) Gauss -> GLL prolongation J_pv
+	wJp      []float64 // pressure quadrature weight x |J| per pressure node
+	bAssem   []float64 // assembled velocity mass diagonal
+
+	// Fields.
+	U  [3][]float64   // current velocity components (element-local)
+	Uh [][3][]float64 // velocity history u^{n-1}, u^{n-2}, u^{n-3}
+	P  []float64      // pressure (K*npp)
+	T  []float64      // scalar
+	Th [][]float64    // scalar history
+
+	filter *sem.Filter
+
+	// Solvers.
+	pPre      *schwarz.Precond
+	projector *solver.Projector
+	enclosed  bool // no open boundary: pressure has the constant null space
+	vol       float64
+
+	DS *sem.Disc // scalar-grid operators (scalar mask), nil without a scalar
+
+	// Scratch.
+	scr      [][]float64
+	vptCache []float64
+	pvtCache []float64
+	bufPool  [][]float64
+}
+
+// New builds a solver from the configuration.
+func New(cfg Config) (*Solver, error) {
+	m := cfg.Mesh
+	if m == nil {
+		return nil, fmt.Errorf("ns: nil mesh")
+	}
+	if m.N < 3 {
+		return nil, fmt.Errorf("ns: polynomial order must be >= 3 for P_N-P_{N-2}, got %d", m.N)
+	}
+	if cfg.Order == 0 {
+		cfg.Order = 2
+	}
+	if cfg.Order != 1 && cfg.Order != 2 && cfg.Order != 3 {
+		return nil, fmt.Errorf("ns: BDF order must be 1, 2 or 3")
+	}
+	if cfg.Dt <= 0 {
+		return nil, fmt.Errorf("ns: Dt must be positive")
+	}
+	if cfg.Re <= 0 {
+		return nil, fmt.Errorf("ns: Re must be positive")
+	}
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	if cfg.PTol == 0 {
+		cfg.PTol = 1e-7
+	}
+	if cfg.VTol == 0 {
+		cfg.VTol = 1e-9
+	}
+	if cfg.SubCFL == 0 {
+		cfg.SubCFL = 0.5
+	}
+	if cfg.PMaxIter == 0 {
+		cfg.PMaxIter = 500
+	}
+	if cfg.PressurePrecond == "" {
+		cfg.PressurePrecond = "schwarz"
+	}
+	s := &Solver{Cfg: cfg, M: m, dim: m.Dim, n: m.K * m.Np}
+	var mask []float64
+	if cfg.DirichletMask != nil {
+		mask = m.BoundaryMask(cfg.DirichletMask)
+	}
+	s.maskV = mask
+	s.D = sem.New(m, mask, cfg.Workers)
+	s.DN = sem.New(m, nil, cfg.Workers)
+
+	// Enclosed if every boundary node is Dirichlet (or there is no boundary).
+	s.enclosed = true
+	for i, onb := range m.OnBoundary {
+		if onb && (mask == nil || mask[i] != 0) {
+			s.enclosed = false
+			break
+		}
+	}
+
+	s.np1 = m.N + 1
+	s.nm1 = m.N - 1
+	s.npp = s.nm1 * s.nm1
+	if m.Dim == 3 {
+		s.npp *= s.nm1
+	}
+	zp, wp := poly.Gauss(s.nm1)
+	s.interpVP = poly.InterpMatrix(zp, m.Z)
+	s.interpPV = poly.InterpMatrix(m.Z, zp)
+	// Pressure quadrature weights x interpolated |J|.
+	s.wJp = make([]float64, m.K*s.npp)
+	jacp := s.interpToPressureField(m.Jac)
+	for e := 0; e < m.K; e++ {
+		for l := 0; l < s.npp; l++ {
+			var w float64
+			if m.Dim == 2 {
+				w = wp[l%s.nm1] * wp[l/s.nm1]
+			} else {
+				w = wp[l%s.nm1] * wp[(l/s.nm1)%s.nm1] * wp[l/(s.nm1*s.nm1)]
+			}
+			s.wJp[e*s.npp+l] = w * jacp[e*s.npp+l]
+		}
+	}
+	// Assembled velocity mass.
+	s.bAssem = make([]float64, s.n)
+	copy(s.bAssem, m.B)
+	s.D.GS.Apply(s.bAssem, gs.Sum)
+
+	for c := 0; c < 3; c++ {
+		s.U[c] = make([]float64, s.n)
+	}
+	s.P = make([]float64, m.K*s.npp)
+	if cfg.Scalar != nil {
+		s.T = make([]float64, s.n)
+		if cfg.Scalar.Initial != nil {
+			for i := range s.T {
+				s.T[i] = cfg.Scalar.Initial(m.X[i], m.Y[i], m.Zc[i])
+			}
+		}
+		var smask []float64
+		if cfg.Scalar.DirichletMask != nil {
+			smask = m.BoundaryMask(cfg.Scalar.DirichletMask)
+		}
+		s.DS = sem.New(m, smask, cfg.Workers)
+	}
+	if cfg.FilterAlpha > 0 {
+		if cfg.FilterCutoff > 0 && cfg.FilterCutoff < m.N {
+			f, err := sem.NewFilterRamp(m, cfg.FilterAlpha, cfg.FilterCutoff)
+			if err != nil {
+				return nil, fmt.Errorf("ns: filter: %w", err)
+			}
+			s.filter = f
+		} else {
+			s.filter = sem.NewFilter(m, cfg.FilterAlpha)
+		}
+	}
+	if cfg.PressurePrecond == "schwarz" {
+		// The sandwich preconditioner acts on the unmasked Laplacian, whose
+		// coarse operator is singular (pure Neumann) regardless of the
+		// velocity boundary conditions: always pin its null space.
+		pre, err := schwarz.New(s.DN, schwarz.Options{
+			Method: schwarz.FDM, UseCoarse: true, Neumann: true,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("ns: pressure preconditioner: %w", err)
+		}
+		s.pPre = pre
+	}
+	if cfg.ProjectionL > 0 {
+		s.projector = solver.NewProjector(cfg.ProjectionL, s.applyE, s.pressureDot)
+	}
+	one := make([]float64, s.n)
+	for i := range one {
+		one[i] = 1
+	}
+	s.vol = s.D.Integrate(one)
+	ns := 8
+	s.scr = make([][]float64, ns)
+	for i := range s.scr {
+		s.scr[i] = make([]float64, s.n)
+	}
+	return s, nil
+}
+
+// Time returns the current simulation time.
+func (s *Solver) Time() float64 { return s.time }
+
+// StepCount returns the number of completed steps.
+func (s *Solver) StepCount() int { return s.step }
+
+// SetVelocity initializes the velocity field from a function (also applies
+// Dirichlet values at t=0).
+func (s *Solver) SetVelocity(f func(x, y, z float64) (u, v, w float64)) {
+	m := s.M
+	for i := 0; i < s.n; i++ {
+		u, v, w := f(m.X[i], m.Y[i], m.Zc[i])
+		s.U[0][i], s.U[1][i], s.U[2][i] = u, v, w
+	}
+	s.applyDirichlet(s.U, 0)
+}
+
+// Velocity returns the current velocity component c (element-local layout).
+func (s *Solver) Velocity(c int) []float64 { return s.U[c] }
+
+// Pressure returns the current pressure (element-local Gauss layout).
+func (s *Solver) Pressure() []float64 { return s.P }
+
+// Scalar returns the advected scalar field (nil if not configured).
+func (s *Solver) Scalar() []float64 { return s.T }
+
+// Disc exposes the velocity-grid discretization (for norms, integrals).
+func (s *Solver) Disc() *sem.Disc { return s.D }
+
+// applyDirichlet overwrites Dirichlet-masked entries with boundary values.
+func (s *Solver) applyDirichlet(u [3][]float64, t float64) {
+	if s.maskV == nil || s.Cfg.DirichletVal == nil {
+		return
+	}
+	m := s.M
+	for i, mk := range s.maskV {
+		if mk == 0 {
+			bu, bv, bw := s.Cfg.DirichletVal(m.X[i], m.Y[i], m.Zc[i], t)
+			u[0][i], u[1][i], u[2][i] = bu, bv, bw
+		}
+	}
+}
+
+// interpToPressureField interpolates a velocity-grid field to the pressure
+// Gauss grid, element by element.
+func (s *Solver) interpToPressureField(u []float64) []float64 {
+	m := s.M
+	out := make([]float64, m.K*s.npp)
+	work := make([]float64, s.interpWorkLen())
+	for e := 0; e < m.K; e++ {
+		s.interpElemVP(out[e*s.npp:(e+1)*s.npp], u[e*m.Np:(e+1)*m.Np], work)
+	}
+	return out
+}

@@ -1,0 +1,277 @@
+package ns
+
+import (
+	"math"
+
+	"repro/internal/gs"
+	"repro/internal/tensor"
+)
+
+// interpElemVP interpolates one element's velocity-grid values to the
+// pressure Gauss grid. work needs np1^dim... a slice of length >= np1^3.
+func (s *Solver) interpElemVP(out, u, work []float64) {
+	if s.dim == 2 {
+		tensor.Apply2D(out, s.interpVP, s.interpVP, u, work, s.nm1, s.np1, s.nm1, s.np1)
+		return
+	}
+	tensor.Apply3D(out, s.interpVP, s.interpVP, s.interpVP, u, work,
+		s.nm1, s.np1, s.nm1, s.np1, s.nm1, s.np1)
+}
+
+// interpElemPV applies the transpose (adjoint) map: pressure-grid values to
+// the velocity grid.
+func (s *Solver) interpElemPV(out, p, work, vpt []float64) {
+	if s.dim == 2 {
+		tensor.Apply2D(out, vpt, vpt, p, work, s.np1, s.nm1, s.np1, s.nm1)
+		return
+	}
+	tensor.Apply3D(out, vpt, vpt, vpt, p, work, s.np1, s.nm1, s.np1, s.nm1, s.np1, s.nm1)
+}
+
+// interpWork3DLen returns a safe scratch length for the interpolation
+// tensor applications.
+func (s *Solver) interpWorkLen() int {
+	a := s.np1 * s.np1 * s.np1
+	b := tensor.Work3DLen(s.nm1, s.np1, s.nm1, s.np1, s.nm1, s.np1)
+	c := tensor.Work3DLen(s.np1, s.nm1, s.np1, s.nm1, s.np1, s.nm1)
+	if b > a {
+		a = b
+	}
+	if c > a {
+		a = c
+	}
+	return a
+}
+
+// vpt returns the transposed interpolation matrix (np1 x nm1), cached.
+func (s *Solver) vptMatrix() []float64 {
+	if s.vptCache == nil {
+		t := make([]float64, s.np1*s.nm1)
+		for i := 0; i < s.nm1; i++ {
+			for j := 0; j < s.np1; j++ {
+				t[j*s.nm1+i] = s.interpVP[i*s.np1+j]
+			}
+		}
+		s.vptCache = t
+	}
+	return s.vptCache
+}
+
+// interpElemPVProlong interpolates one element's pressure-grid values to
+// the velocity GLL grid using the prolongation J_pv (exact polynomial
+// interpolation of the degree-(N-2) pressure).
+func (s *Solver) interpElemPVProlong(out, p, work []float64) {
+	if s.dim == 2 {
+		tensor.Apply2D(out, s.interpPV, s.interpPV, p, work, s.np1, s.nm1, s.np1, s.nm1)
+		return
+	}
+	tensor.Apply3D(out, s.interpPV, s.interpPV, s.interpPV, p, work,
+		s.np1, s.nm1, s.np1, s.nm1, s.np1, s.nm1)
+}
+
+// interpElemVPRestrict applies J_pvᵀ: velocity-grid values to the pressure
+// grid (the adjoint of the prolongation).
+func (s *Solver) interpElemVPRestrict(out, u, work []float64) {
+	pvt := s.pvtMatrix()
+	if s.dim == 2 {
+		tensor.Apply2D(out, pvt, pvt, u, work, s.nm1, s.np1, s.nm1, s.np1)
+		return
+	}
+	tensor.Apply3D(out, pvt, pvt, pvt, u, work, s.nm1, s.np1, s.nm1, s.np1, s.nm1, s.np1)
+}
+
+// pvtMatrix returns J_pvᵀ (nm1 x np1), cached.
+func (s *Solver) pvtMatrix() []float64 {
+	if s.pvtCache == nil {
+		t := make([]float64, s.nm1*s.np1)
+		for i := 0; i < s.np1; i++ {
+			for j := 0; j < s.nm1; j++ {
+				t[j*s.np1+i] = s.interpPV[i*s.nm1+j]
+			}
+		}
+		s.pvtCache = t
+	}
+	return s.pvtCache
+}
+
+// Divergence computes the weak divergence D u into the pressure space by
+// GLL quadrature: (D u)_q = Σ_i h_q(ξ_i) B_i (∇·u)(ξ_i), i.e.
+// D = J_pvᵀ B_v div — the exact weak form ∫ q ∇·u for the degree-(N-2)
+// pressure test functions (the quadrature is exact on affine elements,
+// which is what keeps the P_N–P_{N-2} pair inf-sup compatible discretely).
+func (s *Solver) Divergence(out []float64, u [3][]float64) {
+	m := s.M
+	div := s.scr[6]
+	g := [][]float64{s.scr[0], s.scr[1], s.scr[2]}
+	for i := range div {
+		div[i] = 0
+	}
+	for c := 0; c < s.dim; c++ {
+		s.DN.Grad(g[:s.dim], u[c])
+		gc := g[c]
+		for i := range div {
+			div[i] += gc[i]
+		}
+	}
+	for i := range div {
+		div[i] *= m.B[i]
+	}
+	work := make([]float64, s.interpWorkLen())
+	for e := 0; e < m.K; e++ {
+		s.interpElemVPRestrict(out[e*s.npp:(e+1)*s.npp], div[e*m.Np:(e+1)*m.Np], work)
+	}
+	s.D.CountFlops(int64(len(out) + 2*len(div)*s.dim))
+}
+
+// GradientT computes the momentum pressure term Dᵀ p: the (unassembled)
+// element-local velocity-grid vector whose plain dot with any velocity u
+// equals pᵀ (D u). outs must hold dim slices of length n.
+func (s *Solver) GradientT(outs [][]float64, p []float64) {
+	m := s.M
+	work := make([]float64, s.interpWorkLen())
+	tmpP := make([]float64, s.npp)
+	tmpV := s.scr[6]
+	w1 := s.scr[7]
+	for c := 0; c < s.dim; c++ {
+		for i := range outs[c] {
+			outs[c][i] = 0
+		}
+	}
+	np1 := s.np1
+	for e := 0; e < m.K; e++ {
+		copy(tmpP, p[e*s.npp:(e+1)*s.npp])
+		tv := tmpV[e*m.Np : (e+1)*m.Np]
+		s.interpElemPVProlong(tv, tmpP, work)
+		for l := 0; l < m.Np; l++ {
+			tv[l] *= m.B[e*m.Np+l]
+		}
+		// out_c = Σ_a D_aᵀ (metric_{a,c} · tv).
+		for c := 0; c < s.dim; c++ {
+			oc := outs[c][e*m.Np : (e+1)*m.Np]
+			we := w1[e*m.Np : (e+1)*m.Np]
+			buf := work[:m.Np]
+			for a := 0; a < s.dim; a++ {
+				var metric []float64
+				if s.dim == 2 {
+					metric = s.M.RX[a*2+c] // a=0: rx/ry, a=1: sx/sy
+				} else {
+					metric = s.M.RX[a*3+c]
+				}
+				for l := 0; l < m.Np; l++ {
+					we[l] = metric[e*m.Np+l] * tv[l]
+				}
+				tensor.ApplyDim(buf, s.M.Dt, we, np1, s.dim, a)
+				for l := 0; l < m.Np; l++ {
+					oc[l] += buf[l]
+				}
+			}
+		}
+	}
+}
+
+// applyE applies the consistent pressure Poisson operator
+// E = D (M B̃⁻¹ QQᵀ) Dᵀ (Sec. 4 of the paper). For enclosed domains the
+// constant mode is deflated so CG sees an SPD operator.
+func (s *Solver) applyE(out, p []float64) {
+	g := [][]float64{s.scr[3], s.scr[4], s.scr[5]}
+	s.GradientT(g[:s.dim], p)
+	var u3 [3][]float64
+	for c := 0; c < s.dim; c++ {
+		s.D.GS.Apply(g[c], gs.Sum)
+		if s.maskV != nil {
+			for i, mk := range s.maskV {
+				g[c][i] *= mk
+			}
+		}
+		for i := range g[c] {
+			g[c][i] /= s.bAssem[i]
+		}
+		u3[c] = g[c]
+	}
+	if s.dim == 2 {
+		u3[2] = s.scr[5] // unused zero buffer
+	}
+	s.Divergence(out, u3)
+	if s.enclosed {
+		s.deflatePressure(out)
+	}
+	// Count: 2 grads + interp, ~ (4 tensor ops per component + pointwise).
+	s.D.CountFlops(int64(s.dim * 4 * len(p)))
+}
+
+// pressureDot is the plain inner product on the (discontinuous) pressure
+// space.
+func (s *Solver) pressureDot(a, b []float64) float64 {
+	var v float64
+	for i := range a {
+		v += a[i] * b[i]
+	}
+	return v
+}
+
+// deflatePressure removes the plain mean — the symmetric projector onto
+// the orthogonal complement of the constant null space of E (range(E) ⊥ 1
+// in the plain dot because ∫∇·v = 0 on enclosed domains).
+func (s *Solver) deflatePressure(p []float64) {
+	var num float64
+	for _, v := range p {
+		num += v
+	}
+	mean := num / float64(len(p))
+	for i := range p {
+		p[i] -= mean
+	}
+}
+
+// NormalizePressureMean subtracts the physical (quadrature-weighted) mean,
+// the conventional normalization of the reported pressure field.
+func (s *Solver) NormalizePressureMean(p []float64) {
+	var num, den float64
+	for i, w := range s.wJp {
+		num += w * p[i]
+		den += w
+	}
+	mean := num / den
+	for i := range p {
+		p[i] -= mean
+	}
+}
+
+// pressurePrecond applies the Schwarz-sandwich preconditioner:
+// M_E⁻¹ = I_{v→p} M_A⁻¹ I_{v→p}ᵀ with M_A⁻¹ the FDM additive Schwarz +
+// coarse preconditioner of the unmasked velocity-grid Laplacian.
+func (s *Solver) pressurePrecond(out, r []float64) {
+	if s.pPre == nil {
+		copy(out, r)
+		return
+	}
+	m := s.M
+	work := make([]float64, s.interpWorkLen())
+	rv := s.scr[6]
+	rin := r
+	if s.enclosed {
+		rin = append([]float64(nil), r...)
+		s.deflatePressure(rin)
+	}
+	for e := 0; e < m.K; e++ {
+		s.interpElemPVProlong(rv[e*m.Np:(e+1)*m.Np], rin[e*s.npp:(e+1)*s.npp], work)
+	}
+	// The Schwarz preconditioner expects an assembled residual.
+	s.DN.GS.Apply(rv, gs.Sum)
+	zv := s.scr[7]
+	s.pPre.Apply(zv, rv)
+	for e := 0; e < m.K; e++ {
+		s.interpElemVPRestrict(out[e*s.npp:(e+1)*s.npp], zv[e*m.Np:(e+1)*m.Np], work)
+	}
+	if s.enclosed {
+		s.deflatePressure(out)
+	}
+}
+
+// DivergenceNorm returns ‖D u‖₂ of the current velocity — the discrete
+// continuity residual.
+func (s *Solver) DivergenceNorm() float64 {
+	out := make([]float64, s.M.K*s.npp)
+	s.Divergence(out, s.U)
+	return math.Sqrt(s.pressureDot(out, out))
+}

@@ -1,0 +1,329 @@
+package ns
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/solver"
+)
+
+// bdf returns the BDF coefficients for the effective order at this step:
+// beta (coefficient of u^n / Δt) and gamma[q] (coefficient of ũ^{n-q} / Δt).
+func bdf(order int) (beta float64, gamma []float64) {
+	switch order {
+	case 1:
+		return 1, []float64{1}
+	case 2:
+		return 1.5, []float64{2, -0.5}
+	default:
+		return 11.0 / 6.0, []float64{3, -1.5, 1.0 / 3.0}
+	}
+}
+
+// Step advances the solution by one time step and reports statistics.
+func (s *Solver) Step() (StepStats, error) {
+	cfg := s.Cfg
+	st := StepStats{Step: s.step + 1}
+	tNew := s.time + cfg.Dt
+
+	// Effective order ramps up over the first steps.
+	order := cfg.Order
+	if avail := len(s.Uh) + 1; order > avail {
+		order = avail
+	}
+	beta, gamma := bdf(order)
+
+	// --- Convective subintegration (OIFS): ũ^{n-q} for q = 1..order. ---
+	cflDt, rate := s.cflLimit()
+	st.CFL = rate * cfg.Dt // convective CFL of the full step
+	// Histories: index 0 is u^{n-1} (current U before this step completes).
+	hist := make([][3][]float64, 0, order)
+	hist = append(hist, s.U)
+	hist = append(hist, s.Uh...)
+	utils := make([][3][]float64, order)
+	totalSub := 0
+	for q := 1; q <= order; q++ {
+		ut, nsub := s.advect(hist[q-1], float64(q)*cfg.Dt, cflDt, hist)
+		utils[q-1] = ut
+		totalSub += nsub
+	}
+	st.Substeps = totalSub
+
+	// Scalar transport (advanced first so buoyancy uses T^n ≈ explicit ũT).
+	var tTil [][]float64
+	if cfg.Scalar != nil {
+		tHist := make([][]float64, 0, order)
+		tHist = append(tHist, s.T)
+		tHist = append(tHist, s.Th...)
+		tTil = make([][]float64, order)
+		for q := 1; q <= order; q++ {
+			tTil[q-1] = s.advectScalar(tHist[q-1], float64(q)*cfg.Dt, cflDt, hist)
+		}
+	}
+
+	// --- Momentum right-hand sides and Helmholtz solves. ---
+	h1 := 1.0 / cfg.Re
+	h2 := beta / cfg.Dt
+	diag := s.D.HelmholtzDiag(h1, h2)
+	jacobi := func(out, in []float64) {
+		for i := range in {
+			out[i] = in[i] / diag[i]
+		}
+	}
+	// Pressure gradient of p^{n-1} (incremental splitting).
+	gp := [][]float64{s.scr[3], s.scr[4], s.scr[5]}
+	s.GradientT(gp[:s.dim], s.P)
+
+	ustar := [3][]float64{make([]float64, s.n), make([]float64, s.n), make([]float64, s.n)}
+	m := s.M
+	for c := 0; c < s.dim; c++ {
+		b := make([]float64, s.n)
+		for i := 0; i < s.n; i++ {
+			var sum float64
+			for q := 0; q < order; q++ {
+				sum += gamma[q] * utils[q][c][i]
+			}
+			b[i] = m.B[i] * sum / cfg.Dt
+		}
+		if cfg.Forcing != nil {
+			for i := 0; i < s.n; i++ {
+				fx, fy, fz := cfg.Forcing(m.X[i], m.Y[i], m.Zc[i], tNew)
+				f := [3]float64{fx, fy, fz}
+				b[i] += m.B[i] * f[c]
+			}
+		}
+		if cfg.Scalar != nil && cfg.Scalar.Buoyancy[c] != 0 {
+			// Explicit extrapolated buoyancy from the subintegrated scalar.
+			for i := 0; i < s.n; i++ {
+				var sum float64
+				for q := 0; q < order; q++ {
+					sum += gamma[q] * tTil[q][i]
+				}
+				b[i] += m.B[i] * cfg.Scalar.Buoyancy[c] * sum / beta
+			}
+		}
+		for i := range b {
+			b[i] += gp[c][i]
+		}
+		s.D.Assemble(b)
+		// Dirichlet lifting: start from boundary values, solve the masked
+		// correction.
+		u := ustar[c]
+		copy(u, s.U[c])
+		s.setDirichletComponent(u, c, tNew)
+		hu := make([]float64, s.n)
+		s.D.Helmholtz(hu, u, h1, h2)
+		for i := range b {
+			b[i] -= hu[i]
+		}
+		if s.maskV != nil {
+			for i, mk := range s.maskV {
+				b[i] *= mk
+			}
+		}
+		du := make([]float64, s.n)
+		stats := solver.CG(func(out, in []float64) { s.D.Helmholtz(out, in, h1, h2) },
+			s.D.Dot, du, b, solver.Options{Tol: cfg.VTol, Relative: true, MaxIter: 1000, Precond: jacobi})
+		if !stats.Converged && stats.FinalRes > 1e-6 {
+			return st, fmt.Errorf("ns: Helmholtz solve for component %d failed (res %g)", c, stats.FinalRes)
+		}
+		st.HelmholtzIters[c] = stats.Iterations
+		for i := range u {
+			u[i] += du[i]
+		}
+	}
+
+	// --- Pressure correction: E δp = -(β/Δt) D u*. ---
+	rp := make([]float64, m.K*s.npp)
+	s.Divergence(rp, ustar)
+	for i := range rp {
+		rp[i] *= -h2
+	}
+	if s.enclosed {
+		s.deflatePressure(rp)
+	}
+	dp := make([]float64, len(rp))
+	popt := solver.Options{Tol: cfg.PTol, MaxIter: cfg.PMaxIter, History: true}
+	if s.pPre != nil {
+		popt.Precond = func(out, in []float64) { s.pressurePrecond(out, in) }
+	}
+	var pstats solver.Stats
+	if s.projector != nil {
+		pstats = s.projector.ProjectAndSolve(dp, rp, popt)
+		st.ProjectionBasis = s.projector.Len()
+	} else {
+		pstats = solver.CG(s.applyE, s.pressureDot, dp, rp, popt)
+	}
+	st.PressureIters = pstats.Iterations
+	st.PressureRes0 = pstats.InitialRes
+
+	// --- Velocity update: u^n = u* + (Δt/β) M B̃⁻¹ QQᵀ Dᵀ δp. ---
+	gdp := [][]float64{s.scr[3], s.scr[4], s.scr[5]}
+	s.GradientT(gdp[:s.dim], dp)
+	for c := 0; c < s.dim; c++ {
+		g := gdp[c]
+		s.D.Assemble(g) // QQᵀ + mask
+		scale := cfg.Dt / beta
+		u := ustar[c]
+		for i := range u {
+			u[i] += scale * g[i] / s.bAssem[i]
+		}
+	}
+
+	// --- Scalar Helmholtz solve. ---
+	if cfg.Scalar != nil {
+		iters, err := s.scalarSolve(tTil, gamma, beta, tNew)
+		if err != nil {
+			return st, err
+		}
+		st.ScalarIters = iters
+	}
+
+	// --- Filter, rotate history, commit. ---
+	for c := 0; c < s.dim; c++ {
+		if s.filter != nil {
+			s.D.ApplyFilter(s.filter, ustar[c])
+			s.setDirichletComponent(ustar[c], c, tNew)
+		}
+	}
+	if s.filter != nil && s.T != nil {
+		s.D.ApplyFilter(s.filter, s.T)
+	}
+	// History rotation keeps up to Order-1 previous velocities.
+	keep := cfg.Order - 1
+	if keep > 0 {
+		prev := [3][]float64{
+			append([]float64(nil), s.U[0]...),
+			append([]float64(nil), s.U[1]...),
+			append([]float64(nil), s.U[2]...),
+		}
+		s.Uh = append([][3][]float64{prev}, s.Uh...)
+		if len(s.Uh) > keep {
+			s.Uh = s.Uh[:keep]
+		}
+		if s.T != nil {
+			tprev := append([]float64(nil), s.T...)
+			s.Th = append([][]float64{tprev}, s.Th...)
+			if len(s.Th) > keep {
+				s.Th = s.Th[:keep]
+			}
+		}
+	}
+	for c := 0; c < s.dim; c++ {
+		copy(s.U[c], ustar[c])
+	}
+	for i := range dp {
+		s.P[i] += dp[i]
+	}
+	if s.enclosed {
+		s.deflatePressure(s.P)
+	}
+	s.step++
+	s.time = tNew
+	st.Time = s.time
+
+	for c := 0; c < s.dim; c++ {
+		for i := 0; i < s.n; i += 97 {
+			if math.IsNaN(s.U[c][i]) {
+				return st, fmt.Errorf("ns: solution diverged (NaN) at step %d", s.step)
+			}
+		}
+	}
+	return st, nil
+}
+
+// setDirichletComponent writes the Dirichlet boundary value of component c.
+func (s *Solver) setDirichletComponent(u []float64, c int, t float64) {
+	if s.maskV == nil || s.Cfg.DirichletVal == nil {
+		return
+	}
+	m := s.M
+	for i, mk := range s.maskV {
+		if mk == 0 {
+			bu, bv, bw := s.Cfg.DirichletVal(m.X[i], m.Y[i], m.Zc[i], t)
+			vals := [3]float64{bu, bv, bw}
+			u[i] = vals[c]
+		}
+	}
+}
+
+// cflLimit returns the stable substep size for explicit advection and the
+// current grid CFL number per unit time (max |u|/h).
+func (s *Solver) cflLimit() (dt float64, rate float64) {
+	h := s.M.MinSpacing()
+	var umax float64
+	for c := 0; c < s.dim; c++ {
+		for _, v := range s.U[c] {
+			if a := math.Abs(v); a > umax {
+				umax = a
+			}
+		}
+	}
+	if umax == 0 {
+		return math.Inf(1), 0
+	}
+	rate = umax / h
+	return s.Cfg.SubCFL / rate, rate
+}
+
+// advect integrates dv/dt = -(c·∇)v backward-started at u0 over an
+// interval of length tau ending at the new time level, using RK4 substeps
+// bounded by the CFL limit. The advecting field c(τ) is the Lagrange
+// interpolant/extrapolant of the velocity history. Returns ũ and the
+// substep count.
+func (s *Solver) advect(u0 [3][]float64, tau, cflDt float64, hist [][3][]float64) ([3][]float64, int) {
+	nsub := 1
+	if !math.IsInf(cflDt, 1) {
+		nsub = int(math.Ceil(tau / cflDt))
+		if nsub < 1 {
+			nsub = 1
+		}
+	}
+	if nsub > 2000 {
+		nsub = 2000
+	}
+	h := tau / float64(nsub)
+	v := [3][]float64{}
+	for c := 0; c < s.dim; c++ {
+		v[c] = append([]float64(nil), u0[c]...)
+	}
+	// Times of history fields relative to the new time level tNew:
+	// hist[k] is at t = -(k+1)*Dt; the integration runs from -tau to 0.
+	for sub := 0; sub < nsub; sub++ {
+		t0 := -tau + float64(sub)*h
+		s.rk4Advect([][]float64{v[0], v[1], v[2]}, t0, h, hist)
+		// Keep the field C0 across element boundaries (mass-weighted
+		// average, the direct-stiffness form of the convective update).
+		for c := 0; c < s.dim; c++ {
+			s.massAverage(v[c])
+		}
+	}
+	return v, nsub
+}
+
+// advectScalar is the scalar version of advect.
+func (s *Solver) advectScalar(t0f []float64, tau, cflDt float64, hist [][3][]float64) []float64 {
+	nsub := 1
+	if !math.IsInf(cflDt, 1) {
+		nsub = int(math.Ceil(tau / cflDt))
+		if nsub < 1 {
+			nsub = 1
+		}
+	}
+	if nsub > 2000 {
+		nsub = 2000
+	}
+	h := tau / float64(nsub)
+	v := append([]float64(nil), t0f...)
+	for sub := 0; sub < nsub; sub++ {
+		t0 := -tau + float64(sub)*h
+		s.rk4AdvectFields([][]float64{v}, t0, h, hist)
+		s.massAverage(v)
+	}
+	return v
+}
+
+// rk4Advect advances the velocity components through one RK4 substep.
+func (s *Solver) rk4Advect(v [][]float64, t0, h float64, hist [][3][]float64) {
+	s.rk4AdvectFields(v[:s.dim], t0, h, hist)
+}

@@ -1,0 +1,202 @@
+// Package orrsomm solves the Orr–Sommerfeld eigenproblem for plane
+// Poiseuille flow (U = 1 - y²) by Chebyshev collocation with complex
+// shift-invert power iteration. It supplies the linear-theory reference
+// growth rate and the Tollmien–Schlichting eigenfunction used as the
+// initial condition of the Table 1 convergence study (Re = 7500, α = 1,
+// following Malik, Zang & Hussaini).
+//
+// The perturbation streamfunction ψ = φ(y) e^{iα(x - ct)} satisfies
+//
+//	(U - c)(φ'' - α²φ) - U'' φ = (1/(iαRe)) (φ'''' - 2α²φ'' + α⁴φ)
+//
+// with clamped boundary conditions φ(±1) = φ'(±1) = 0; the temporal growth
+// rate of the perturbation energy amplitude is α·Im(c).
+package orrsomm
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"repro/internal/la"
+	"repro/internal/poly"
+)
+
+// Result is a converged Orr–Sommerfeld eigenpair.
+type Result struct {
+	Re, Alpha float64
+	C         complex128   // complex phase speed
+	Y         []float64    // Chebyshev collocation points (descending from +1)
+	Phi       []complex128 // streamfunction eigenfunction, max-normalized
+	DPhi      []complex128 // dφ/dy at the collocation points
+	baryW     []float64
+}
+
+// GrowthRate returns the temporal amplitude growth rate α·Im(c).
+func (r *Result) GrowthRate() float64 { return r.Alpha * imag(r.C) }
+
+// Solve computes the eigenvalue of the Orr–Sommerfeld operator nearest the
+// shift sigma, with n+1 Chebyshev collocation points. For the
+// Tollmien–Schlichting branch at Re = 7500, α = 1 use sigma ≈ 0.25+0.002i.
+func Solve(re, alpha float64, n int, sigma complex128) (*Result, error) {
+	np := n + 1
+	// Chebyshev–Gauss–Lobatto points, y_0 = 1 … y_n = -1.
+	y := make([]float64, np)
+	for j := 0; j < np; j++ {
+		y[j] = math.Cos(math.Pi * float64(j) / float64(n))
+	}
+	d1 := poly.DerivMatrix(y)
+	d2 := matmulSq(d1, d1, np)
+	d4 := matmulSq(d2, d2, np)
+
+	a2 := alpha * alpha
+	a4 := a2 * a2
+	ialphaRe := complex(0, alpha*re)
+	l := make([]complex128, np*np)
+	m := make([]complex128, np*np)
+	for i := 0; i < np; i++ {
+		u := 1 - y[i]*y[i]
+		upp := -2.0
+		for j := 0; j < np; j++ {
+			lap := d2[i*np+j]
+			if i == j {
+				lap -= a2
+			}
+			visc := d4[i*np+j] - 2*a2*d2[i*np+j]
+			if i == j {
+				visc += a4
+			}
+			l[i*np+j] = complex(u*lap, 0) - complex(visc, 0)/ialphaRe
+			if i == j {
+				l[i*np+j] -= complex(upp, 0)
+			}
+			m[i*np+j] = complex(lap, 0)
+		}
+	}
+	// Boundary rows: φ(±1) = 0 on rows 0 and n; φ'(±1) = 0 on rows 1, n-1.
+	setRow := func(row int, lrow []complex128) {
+		for j := 0; j < np; j++ {
+			l[row*np+j] = lrow[j]
+			m[row*np+j] = 0
+		}
+	}
+	e0 := make([]complex128, np)
+	e0[0] = 1
+	en := make([]complex128, np)
+	en[np-1] = 1
+	dp0 := make([]complex128, np)
+	dpn := make([]complex128, np)
+	for j := 0; j < np; j++ {
+		dp0[j] = complex(d1[0*np+j], 0)
+		dpn[j] = complex(d1[n*np+j], 0)
+	}
+	setRow(0, e0)
+	setRow(1, dp0)
+	setRow(n-1, dpn)
+	setRow(n, en)
+
+	// Shift-invert power iteration on (L - σM)⁻¹ M.
+	shifted := make([]complex128, np*np)
+	for i := range shifted {
+		shifted[i] = l[i] - sigma*m[i]
+	}
+	lu, err := la.FactorCLU(shifted, np)
+	if err != nil {
+		return nil, fmt.Errorf("orrsomm: shifted operator singular: %w", err)
+	}
+	x := make([]complex128, np)
+	for i := range x {
+		x[i] = complex(math.Sin(float64(i)+1), math.Cos(2*float64(i)))
+	}
+	w := make([]complex128, np)
+	var theta complex128
+	for it := 0; it < 200; it++ {
+		la.CMatVec(w, m, x, np, np)
+		lu.Solve(w, w)
+		// θ = xᴴ w / xᴴ x, then normalize.
+		var num, den complex128
+		for i := range x {
+			num += cmplx.Conj(x[i]) * w[i]
+			den += cmplx.Conj(x[i]) * x[i]
+		}
+		thetaNew := num / den
+		var nrm float64
+		for _, v := range w {
+			nrm += real(v)*real(v) + imag(v)*imag(v)
+		}
+		inv := complex(1/math.Sqrt(nrm), 0)
+		for i := range x {
+			x[i] = w[i] * inv
+		}
+		if it > 2 && cmplx.Abs(thetaNew-theta) < 1e-14*cmplx.Abs(thetaNew) {
+			theta = thetaNew
+			break
+		}
+		theta = thetaNew
+	}
+	if theta == 0 {
+		return nil, fmt.Errorf("orrsomm: power iteration failed to converge")
+	}
+	c := sigma + 1/theta
+
+	// Normalize the eigenfunction to unit max magnitude.
+	var maxAbs float64
+	var at complex128 = 1
+	for _, v := range x {
+		if a := cmplx.Abs(v); a > maxAbs {
+			maxAbs = a
+			at = v
+		}
+	}
+	// Dividing by the max-magnitude entry makes that entry exactly 1 (real),
+	// fixing both scale and phase of the eigenfunction.
+	for i := range x {
+		x[i] = x[i] / at
+	}
+	dphi := make([]complex128, np)
+	for i := 0; i < np; i++ {
+		var s complex128
+		for j := 0; j < np; j++ {
+			s += complex(d1[i*np+j], 0) * x[j]
+		}
+		dphi[i] = s
+	}
+	return &Result{
+		Re: re, Alpha: alpha, C: c, Y: y,
+		Phi: x, DPhi: dphi,
+		baryW: poly.BaryWeights(y),
+	}, nil
+}
+
+func matmulSq(a, b []float64, n int) []float64 {
+	c := make([]float64, n*n)
+	la.Mul(c, a, b, n, n, n)
+	return c
+}
+
+// interp evaluates a complex nodal field at y by barycentric interpolation.
+func (r *Result) interp(f []complex128, y float64) complex128 {
+	var num, den complex128
+	for k, yk := range r.Y {
+		if y == yk {
+			return f[k]
+		}
+		c := complex(r.baryW[k]/(y-yk), 0)
+		num += c * f[k]
+		den += c
+	}
+	return num / den
+}
+
+// Velocity returns the real perturbation velocity (u', v') of the TS wave
+// at position (x, y) and time t, scaled to amplitude eps:
+// u' = Re[φ'(y) e^{iα(x-ct)}], v' = Re[-iα φ(y) e^{iα(x-ct)}].
+func (r *Result) Velocity(x, y, t, eps float64) (float64, float64) {
+	phase := cmplx.Exp(complex(0, r.Alpha) * (complex(x, 0) - r.C*complex(t, 0)))
+	up := r.interp(r.DPhi, y) * phase
+	vp := complex(0, -r.Alpha) * r.interp(r.Phi, y) * phase
+	return eps * real(up), eps * real(vp)
+}
+
+// BaseFlow returns the plane Poiseuille base profile U(y) = 1 - y².
+func BaseFlow(y float64) float64 { return 1 - y*y }

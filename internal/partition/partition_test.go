@@ -1,0 +1,139 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/mesh"
+)
+
+func gridGraph(nx, ny int) ([][]int, [][3]float64) {
+	n := nx * ny
+	adj := make([][]int, n)
+	coords := make([][3]float64, n)
+	for iy := 0; iy < ny; iy++ {
+		for ix := 0; ix < nx; ix++ {
+			i := iy*nx + ix
+			coords[i] = [3]float64{float64(ix), float64(iy), 0}
+			if ix > 0 {
+				adj[i] = append(adj[i], i-1)
+			}
+			if ix < nx-1 {
+				adj[i] = append(adj[i], i+1)
+			}
+			if iy > 0 {
+				adj[i] = append(adj[i], i-nx)
+			}
+			if iy < ny-1 {
+				adj[i] = append(adj[i], i+nx)
+			}
+		}
+	}
+	return adj, coords
+}
+
+func checkBalance(t *testing.T, part []int, p int) {
+	t.Helper()
+	sizes := Sizes(part, p)
+	n := len(part)
+	for q, s := range sizes {
+		lo, hi := n/p-n/(2*p)-1, n/p+n/(2*p)+1
+		if s < lo || s > hi {
+			t.Errorf("part %d has %d of %d vertices (p=%d): %v", q, s, n, p, sizes)
+		}
+	}
+}
+
+func TestRSBBalanced(t *testing.T) {
+	adj, _ := gridGraph(16, 8)
+	for _, p := range []int{2, 4, 8} {
+		part := RSB(adj, p)
+		checkBalance(t, part, p)
+	}
+}
+
+func TestRSBBeatsRandomCut(t *testing.T) {
+	adj, _ := gridGraph(16, 16)
+	p := 4
+	part := RSB(adj, p)
+	cut := CutEdges(adj, part)
+	rng := rand.New(rand.NewSource(1))
+	randPart := make([]int, len(adj))
+	for i := range randPart {
+		randPart[i] = rng.Intn(p)
+	}
+	randCut := CutEdges(adj, randPart)
+	if cut*3 > randCut {
+		t.Errorf("RSB cut %d not clearly better than random %d", cut, randCut)
+	}
+	// Ideal 4-way cut of a 16x16 grid is 2 straight lines = 32 edges;
+	// RSB should be within a small factor.
+	if cut > 96 {
+		t.Errorf("RSB cut %d too large for a 16x16 grid", cut)
+	}
+	t.Logf("RSB cut %d, random cut %d", cut, randCut)
+}
+
+func TestRSBOnStripFindsStripCuts(t *testing.T) {
+	// A 32x2 strip: bisection should cut across the strip (2 edges), not
+	// along it (32 edges).
+	adj, _ := gridGraph(32, 2)
+	part := RSB(adj, 2)
+	if cut := CutEdges(adj, part); cut > 6 {
+		t.Errorf("strip bisection cut %d, want ~2", cut)
+	}
+}
+
+func TestRCBBalancedAndReasonable(t *testing.T) {
+	adj, coords := gridGraph(16, 8)
+	for _, p := range []int{2, 4, 8} {
+		part := RCB(coords, p)
+		checkBalance(t, part, p)
+		if cut := CutEdges(adj, part); cut > 120 {
+			t.Errorf("p=%d: RCB cut %d unreasonably large", p, cut)
+		}
+	}
+}
+
+func TestNonPowerOfTwoParts(t *testing.T) {
+	adj, coords := gridGraph(15, 9)
+	for _, p := range []int{3, 5, 7} {
+		checkBalance(t, RSB(adj, p), p)
+		checkBalance(t, RCB(coords, p), p)
+	}
+}
+
+func TestRSBOnSEMMesh(t *testing.T) {
+	// Partition a real element adjacency graph from the mesh package.
+	spec := mesh.CylinderOGrid(mesh.CylinderOGridSpec{NTheta: 16, NLayer: 6, R: 0.5, H: 4, WallRatio: 6})
+	m, err := mesh.Discretize(spec, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coords := make([][3]float64, m.K)
+	for e := 0; e < m.K; e++ {
+		coords[e] = [3]float64{m.X[e*m.Np], m.Y[e*m.Np], 0}
+	}
+	p := 8
+	rsb := RSB(m.Adj, p)
+	rcb := RCB(coords, p)
+	checkBalance(t, rsb, p)
+	cutS := CutEdges(m.Adj, rsb)
+	cutC := CutEdges(m.Adj, rcb)
+	t.Logf("cylinder element graph: RSB cut %d, RCB cut %d", cutS, cutC)
+	if cutS > 2*cutC+8 {
+		t.Errorf("RSB (%d) much worse than RCB (%d)", cutS, cutC)
+	}
+}
+
+func TestDegenerateInputs(t *testing.T) {
+	// Single vertex, p larger than n.
+	part := RSB([][]int{nil}, 4)
+	if part[0] < 0 || part[0] >= 4 {
+		t.Error("single-vertex partition out of range")
+	}
+	part2 := RCB([][3]float64{{0, 0, 0}, {1, 0, 0}}, 8)
+	if len(part2) != 2 {
+		t.Error("RCB length wrong")
+	}
+}

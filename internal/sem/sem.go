@@ -1,0 +1,540 @@
+// Package sem assembles the matrix-free spectral element operators of
+// Secs. 2–3 of the paper on top of a mesh: the deformed-geometry stiffness
+// (discrete Laplacian, eq. (4)), the diagonal mass matrix, Helmholtz
+// operators, physical-space gradients, and the Fischer–Mullen stabilizing
+// filter. All operators act on element-local vectors (length K·Np) and are
+// assembled with the gather–scatter; Dirichlet conditions enter through a
+// multiplicative mask. An element-loop worker pool mirrors the paper's
+// dual-processor loop-splitting mode, and every application is counted by
+// an analytic flop meter for the performance model.
+package sem
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/gs"
+	"repro/internal/la"
+	"repro/internal/mesh"
+	"repro/internal/poly"
+	"repro/internal/tensor"
+)
+
+// Disc is a discretized scalar-field operator set over one mesh.
+type Disc struct {
+	M    *mesh.Mesh
+	GS   *gs.Handle
+	Mask []float64 // 1 on free nodes, 0 on Dirichlet nodes (nil = no mask)
+	Mult []float64 // nodal multiplicity
+
+	Workers int // element-loop parallelism (1 = serial)
+
+	Dt      []float64 // transpose of the 1D derivative matrix
+	flops   atomic.Int64
+	scratch [][]float64 // per-worker scratch, each 4*Np (2D) / 6*Np (3D)
+}
+
+// New builds the operator set. mask may be nil (pure Neumann / periodic).
+func New(m *mesh.Mesh, mask []float64, workers int) *Disc {
+	if workers < 1 {
+		workers = 1
+	}
+	d := &Disc{M: m, GS: gs.Init(m.GID), Mask: mask, Workers: workers, Dt: m.Dt}
+	d.Mult = d.GS.Multiplicity()
+	ns := 6
+	if m.Dim == 3 {
+		ns = 9
+	}
+	d.scratch = make([][]float64, workers)
+	for w := range d.scratch {
+		d.scratch[w] = make([]float64, ns*m.Np)
+	}
+	return d
+}
+
+// Flops returns the cumulative analytic flop count of all operator
+// applications since construction (or the last ResetFlops).
+func (d *Disc) Flops() int64 { return d.flops.Load() }
+
+// ResetFlops zeroes the flop meter.
+func (d *Disc) ResetFlops() { d.flops.Store(0) }
+
+// CountFlops adds externally-performed work to the meter.
+func (d *Disc) CountFlops(n int64) { d.flops.Add(n) }
+
+// forElements runs fn(e, worker) over all elements, split across the worker
+// pool — the shared-memory analogue of the paper's dual-processor mode.
+func (d *Disc) forElements(fn func(e, w int)) {
+	k := d.M.K
+	if d.Workers == 1 || k < 2 {
+		for e := 0; e < k; e++ {
+			fn(e, 0)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (k + d.Workers - 1) / d.Workers
+	for w := 0; w < d.Workers; w++ {
+		e0 := w * chunk
+		e1 := e0 + chunk
+		if e1 > k {
+			e1 = k
+		}
+		if e0 >= e1 {
+			break
+		}
+		wg.Add(1)
+		go func(e0, e1, w int) {
+			defer wg.Done()
+			for e := e0; e < e1; e++ {
+				fn(e, w)
+			}
+		}(e0, e1, w)
+	}
+	wg.Wait()
+}
+
+// StiffnessLocal applies the unassembled element stiffness matrices:
+// out^k = A^k u^k per eq. (4). out must not alias u.
+func (d *Disc) StiffnessLocal(out, u []float64) {
+	m := d.M
+	np1 := m.N + 1
+	np := m.Np
+	if m.Dim == 2 {
+		d.forElements(func(e, w int) {
+			s := d.scratch[w]
+			ur, us := s[:np], s[np:2*np]
+			tr, ts := s[2*np:3*np], s[3*np:4*np]
+			ue := u[e*np : (e+1)*np]
+			tensor.ApplyR2D(ur, m.D, ue, np1, np1, np1)
+			tensor.ApplyS2D(us, m.D, ue, np1, np1, np1)
+			g0, g1, g2 := m.G[0][e*np:], m.G[1][e*np:], m.G[2][e*np:]
+			for i := 0; i < np; i++ {
+				tr[i] = g0[i]*ur[i] + g1[i]*us[i]
+				ts[i] = g1[i]*ur[i] + g2[i]*us[i]
+			}
+			oe := out[e*np : (e+1)*np]
+			tensor.ApplyR2D(oe, d.Dt, tr, np1, np1, np1)
+			tensor.ApplyS2D(us, d.Dt, ts, np1, np1, np1) // reuse us as buffer
+			for i := 0; i < np; i++ {
+				oe[i] += us[i]
+			}
+		})
+		// 4 tensor ops (2N³ each... here 2·np1³) + 6np pointwise + np add.
+		d.flops.Add(int64(m.K) * (4*2*int64(np1)*int64(np1)*int64(np1) + 7*int64(np)))
+		return
+	}
+	d.forElements(func(e, w int) {
+		s := d.scratch[w]
+		ur, us, ut := s[:np], s[np:2*np], s[2*np:3*np]
+		tr, ts, tt := s[3*np:4*np], s[4*np:5*np], s[5*np:6*np]
+		ue := u[e*np : (e+1)*np]
+		tensor.ApplyR3D(ur, m.D, ue, np1, np1, np1, np1)
+		tensor.ApplyS3D(us, m.D, ue, np1, np1, np1, np1)
+		tensor.ApplyT3D(ut, m.D, ue, np1, np1, np1, np1)
+		g := m.G
+		off := e * np
+		for i := 0; i < np; i++ {
+			r, sv, tv := ur[i], us[i], ut[i]
+			tr[i] = g[0][off+i]*r + g[1][off+i]*sv + g[2][off+i]*tv
+			ts[i] = g[1][off+i]*r + g[3][off+i]*sv + g[4][off+i]*tv
+			tt[i] = g[2][off+i]*r + g[4][off+i]*sv + g[5][off+i]*tv
+		}
+		oe := out[e*np : (e+1)*np]
+		tensor.ApplyR3D(oe, d.Dt, tr, np1, np1, np1, np1)
+		tensor.ApplyS3D(us, d.Dt, ts, np1, np1, np1, np1)
+		tensor.ApplyT3D(ut, d.Dt, tt, np1, np1, np1, np1)
+		for i := 0; i < np; i++ {
+			oe[i] += us[i] + ut[i]
+		}
+	})
+	// The paper's count: 12N⁴ + 15N³ per element (here with N+1 = np1).
+	n4 := int64(np1) * int64(np1) * int64(np1) * int64(np1)
+	d.flops.Add(int64(m.K) * (12*n4 + 17*int64(np)))
+}
+
+// Assemble performs the gather-scatter sum and applies the Dirichlet mask.
+func (d *Disc) Assemble(u []float64) {
+	d.GS.Apply(u, gs.Sum)
+	d.ApplyMask(u)
+	d.flops.Add(int64(len(u)))
+}
+
+// ApplyMask zeroes Dirichlet entries.
+func (d *Disc) ApplyMask(u []float64) {
+	if d.Mask == nil {
+		return
+	}
+	for i, m := range d.Mask {
+		u[i] *= m
+	}
+}
+
+// Laplacian applies the assembled, masked stiffness operator:
+// out = M QQᵀ A u. The input should already be continuous and masked.
+func (d *Disc) Laplacian(out, u []float64) {
+	d.StiffnessLocal(out, u)
+	d.Assemble(out)
+}
+
+// Helmholtz applies out = M QQᵀ (h1·A + h2·B) u, the velocity operator H of
+// Sec. 4 (h1 = 1/Re·Δt factor absorbed by the caller, h2 = BDF mass factor).
+func (d *Disc) Helmholtz(out, u []float64, h1, h2 float64) {
+	d.StiffnessLocal(out, u)
+	if h1 != 1 {
+		for i := range out {
+			out[i] *= h1
+		}
+	}
+	b := d.M.B
+	for i := range out {
+		out[i] += h2 * b[i] * u[i]
+	}
+	d.flops.Add(3 * int64(len(out)))
+	d.Assemble(out)
+}
+
+// MassApply computes out = B u (diagonal, unassembled quadrature mass).
+func (d *Disc) MassApply(out, u []float64) {
+	b := d.M.B
+	for i := range u {
+		out[i] = b[i] * u[i]
+	}
+	d.flops.Add(int64(len(u)))
+}
+
+// HelmholtzDiag returns the assembled diagonal of h1·A + h2·B, the Jacobi
+// preconditioner of the velocity solves.
+func (d *Disc) HelmholtzDiag(h1, h2 float64) []float64 {
+	m := d.M
+	np1 := m.N + 1
+	np := m.Np
+	diag := make([]float64, m.K*np)
+	// Diagonal of the tensor stiffness: A_ll = Σ_q D_ql² G... computed
+	// exactly from the factorized form: for node l=(i,j[,k]),
+	// diag += Σ_p Dᵀ... Using the identity
+	// (A)_{ll} = Σ_m D[m][i]² Grr(m,j) + 2 D[i][i] D[j][j] Grs(i,j) + Σ_m D[m][j]² Gss(i,m).
+	if m.Dim == 2 {
+		for e := 0; e < m.K; e++ {
+			off := e * np
+			for j := 0; j < np1; j++ {
+				for i := 0; i < np1; i++ {
+					var s float64
+					for p := 0; p < np1; p++ {
+						dpi := m.D[p*np1+i]
+						s += dpi * dpi * m.G[0][off+j*np1+p]
+					}
+					for p := 0; p < np1; p++ {
+						dpj := m.D[p*np1+j]
+						s += dpj * dpj * m.G[2][off+p*np1+i]
+					}
+					s += 2 * m.D[i*np1+i] * m.D[j*np1+j] * m.G[1][off+j*np1+i]
+					l := off + j*np1 + i
+					diag[l] = h1*s + h2*m.B[l]
+				}
+			}
+		}
+	} else {
+		for e := 0; e < m.K; e++ {
+			off := e * np
+			idx := func(i, j, k int) int { return off + (k*np1+j)*np1 + i }
+			for k := 0; k < np1; k++ {
+				for j := 0; j < np1; j++ {
+					for i := 0; i < np1; i++ {
+						var s float64
+						for p := 0; p < np1; p++ {
+							dpi := m.D[p*np1+i]
+							s += dpi * dpi * m.G[0][idx(p, j, k)]
+							dpj := m.D[p*np1+j]
+							s += dpj * dpj * m.G[3][idx(i, p, k)]
+							dpk := m.D[p*np1+k]
+							s += dpk * dpk * m.G[5][idx(i, j, p)]
+						}
+						dii, djj, dkk := m.D[i*np1+i], m.D[j*np1+j], m.D[k*np1+k]
+						s += 2 * dii * djj * m.G[1][idx(i, j, k)]
+						s += 2 * dii * dkk * m.G[2][idx(i, j, k)]
+						s += 2 * djj * dkk * m.G[4][idx(i, j, k)]
+						l := idx(i, j, k)
+						diag[l] = h1*s + h2*m.B[l]
+					}
+				}
+			}
+		}
+	}
+	d.GS.Apply(diag, gs.Sum)
+	// Dirichlet rows: unit diagonal so Jacobi inversion stays defined.
+	if d.Mask != nil {
+		for i, mk := range d.Mask {
+			if mk == 0 {
+				diag[i] = 1
+			}
+		}
+	}
+	return diag
+}
+
+// Grad computes the physical-space gradient of u per element (unassembled):
+// outs[c] = ∂u/∂x_c.
+func (d *Disc) Grad(outs [][]float64, u []float64) {
+	m := d.M
+	np1 := m.N + 1
+	np := m.Np
+	if m.Dim == 2 {
+		d.forElements(func(e, w int) {
+			s := d.scratch[w]
+			ur, us := s[:np], s[np:2*np]
+			ue := u[e*np : (e+1)*np]
+			tensor.ApplyR2D(ur, m.D, ue, np1, np1, np1)
+			tensor.ApplyS2D(us, m.D, ue, np1, np1, np1)
+			off := e * np
+			rx, ry, sx, sy := m.RX[0], m.RX[1], m.RX[2], m.RX[3]
+			for i := 0; i < np; i++ {
+				outs[0][off+i] = rx[off+i]*ur[i] + sx[off+i]*us[i]
+				outs[1][off+i] = ry[off+i]*ur[i] + sy[off+i]*us[i]
+			}
+		})
+		d.flops.Add(int64(m.K) * (2*2*int64(np1)*int64(np1)*int64(np1) + 6*int64(np)))
+		return
+	}
+	d.forElements(func(e, w int) {
+		s := d.scratch[w]
+		ur, us, ut := s[:np], s[np:2*np], s[2*np:3*np]
+		ue := u[e*np : (e+1)*np]
+		tensor.ApplyR3D(ur, m.D, ue, np1, np1, np1, np1)
+		tensor.ApplyS3D(us, m.D, ue, np1, np1, np1, np1)
+		tensor.ApplyT3D(ut, m.D, ue, np1, np1, np1, np1)
+		off := e * np
+		for i := 0; i < np; i++ {
+			gi := off + i
+			outs[0][gi] = m.RX[0][gi]*ur[i] + m.RX[3][gi]*us[i] + m.RX[6][gi]*ut[i]
+			outs[1][gi] = m.RX[1][gi]*ur[i] + m.RX[4][gi]*us[i] + m.RX[7][gi]*ut[i]
+			outs[2][gi] = m.RX[2][gi]*ur[i] + m.RX[5][gi]*us[i] + m.RX[8][gi]*ut[i]
+		}
+	})
+	n4 := int64(np1) * int64(np1) * int64(np1) * int64(np1)
+	d.flops.Add(int64(m.K) * (3*2*n4 + 15*int64(np)))
+}
+
+// Dot is the inner product for element-local redundant storage: each global
+// node is counted once (division by multiplicity).
+func (d *Disc) Dot(u, v []float64) float64 {
+	var s float64
+	mult := d.Mult
+	for i := range u {
+		s += u[i] * v[i] / mult[i]
+	}
+	d.flops.Add(3 * int64(len(u)))
+	return s
+}
+
+// Integrate returns ∫ u dΩ by GLL quadrature.
+func (d *Disc) Integrate(u []float64) float64 {
+	var s float64
+	for i, b := range d.M.B {
+		s += b * u[i]
+	}
+	return s
+}
+
+// L2Norm returns the L2 norm of the element-local field u.
+func (d *Disc) L2Norm(u []float64) float64 {
+	var s float64
+	for i, b := range d.M.B {
+		s += b * u[i] * u[i]
+	}
+	return math.Sqrt(s)
+}
+
+// DirectStiffnessAverage replaces each shared value by the multiplicity-
+// weighted average, turning a discontinuous field into a continuous one.
+func (d *Disc) DirectStiffnessAverage(u []float64) {
+	d.GS.Apply(u, gs.Sum)
+	for i := range u {
+		u[i] /= d.Mult[i]
+	}
+	d.flops.Add(2 * int64(len(u)))
+}
+
+// Filter holds the per-dimension Fischer–Mullen filter operator F_α.
+type Filter struct {
+	F     []float64 // (N+1)x(N+1)
+	Alpha float64
+	np1   int
+}
+
+// NewFilter builds the interpolation-based filter of strength alpha on the
+// mesh's GLL basis (damps the N-th mode only — the paper's description).
+func NewFilter(m *mesh.Mesh, alpha float64) *Filter {
+	return &Filter{F: poly.FilterMatrix(alpha, m.Z), Alpha: alpha, np1: m.N + 1}
+}
+
+// NewFilterRamp builds the generalized Fischer–Mullen filter that damps the
+// modes from `cutoff` up to N with a quadratic ramp reaching strength alpha
+// at mode N. With cutoff = N it reduces to the single-mode filter; damping
+// the last two or three modes is the robust production setting for strongly
+// under-resolved runs.
+func NewFilterRamp(m *mesh.Mesh, alpha float64, cutoff int) (*Filter, error) {
+	f, err := poly.ModalFilterMatrix(alpha, cutoff, m.Z)
+	if err != nil {
+		return nil, err
+	}
+	return &Filter{F: f, Alpha: alpha, np1: m.N + 1}, nil
+}
+
+// Apply filters the field in place, element by element, as a tensor product
+// F⊗F(⊗F) — the once-per-timestep local interpolation of Sec. 2.
+func (d *Disc) ApplyFilter(f *Filter, u []float64) {
+	if f == nil || f.Alpha == 0 {
+		return
+	}
+	m := d.M
+	np1 := f.np1
+	np := m.Np
+	if m.Dim == 2 {
+		d.forElements(func(e, w int) {
+			s := d.scratch[w]
+			work, out := s[:np], s[np:2*np]
+			ue := u[e*np : (e+1)*np]
+			tensor.Apply2D(out, f.F, f.F, ue, work, np1, np1, np1, np1)
+			copy(ue, out)
+		})
+		d.flops.Add(int64(m.K) * 2 * 2 * int64(np1) * int64(np1) * int64(np1))
+		return
+	}
+	d.forElements(func(e, w int) {
+		s := d.scratch[w]
+		need := tensor.Work3DLen(np1, np1, np1, np1, np1, np1)
+		work := s[:need]
+		out := s[need : need+np]
+		ue := u[e*np : (e+1)*np]
+		tensor.Apply3D(out, f.F, f.F, f.F, ue, work, np1, np1, np1, np1, np1, np1)
+		copy(ue, out)
+	})
+	n4 := int64(np1) * int64(np1) * int64(np1) * int64(np1)
+	d.flops.Add(int64(m.K) * 3 * 2 * n4)
+}
+
+// BuildAssembledCSR materializes the assembled, masked stiffness operator as
+// a sparse matrix over global node ids (for tests and for the coarse-grid
+// and FEM-preconditioner paths that need explicit matrices). Dirichlet rows
+// and columns are replaced by the identity.
+func (d *Disc) BuildAssembledCSR() *la.CSR {
+	m := d.M
+	n := m.NGlobal
+	b := la.NewCOO(n, n)
+	np := m.Np
+	// Column-by-column through local element matrices would be O((KNp)²);
+	// instead assemble from element dense blocks built by applying the
+	// element stiffness to local basis vectors.
+	ue := make([]float64, np)
+	oe := make([]float64, np)
+	dirich := make([]bool, n)
+	if d.Mask != nil {
+		for i, mk := range d.Mask {
+			if mk == 0 {
+				dirich[m.GID[i]] = true
+			}
+		}
+	}
+	single := &Disc{M: m, GS: d.GS, Workers: 1, Dt: d.Dt,
+		scratch: [][]float64{make([]float64, len(d.scratch[0]))}}
+	for e := 0; e < m.K; e++ {
+		for j := 0; j < np; j++ {
+			for i := range ue {
+				ue[i] = 0
+			}
+			ue[j] = 1
+			// Apply the single-element stiffness.
+			single.stiffnessOneElement(oe, ue, e)
+			gj := m.GID[e*np+j]
+			for i := 0; i < np; i++ {
+				if oe[i] == 0 {
+					continue
+				}
+				gi := m.GID[e*np+i]
+				if dirich[int(gi)] || dirich[int(gj)] {
+					continue
+				}
+				b.Add(int(gi), int(gj), oe[i])
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if dirich[i] {
+			b.Add(i, i, 1)
+		}
+	}
+	return b.ToCSR()
+}
+
+// StiffnessElement applies element e's stiffness matrix to the local nodal
+// vector ue (length Np), writing into oe. It uses the worker-0 scratch and
+// is therefore not safe for concurrent use on one Disc; give each goroutine
+// its own Disc.
+func (d *Disc) StiffnessElement(oe, ue []float64, e int) {
+	d.stiffnessOneElement(oe, ue, e)
+}
+
+// stiffnessOneElement applies element e's stiffness to the local vector ue.
+func (d *Disc) stiffnessOneElement(oe, ue []float64, e int) {
+	m := d.M
+	np1 := m.N + 1
+	np := m.Np
+	s := d.scratch[0]
+	if m.Dim == 2 {
+		ur, us := s[:np], s[np:2*np]
+		tr, ts := s[2*np:3*np], s[3*np:4*np]
+		tensor.ApplyR2D(ur, m.D, ue, np1, np1, np1)
+		tensor.ApplyS2D(us, m.D, ue, np1, np1, np1)
+		g0, g1, g2 := m.G[0][e*np:], m.G[1][e*np:], m.G[2][e*np:]
+		for i := 0; i < np; i++ {
+			tr[i] = g0[i]*ur[i] + g1[i]*us[i]
+			ts[i] = g1[i]*ur[i] + g2[i]*us[i]
+		}
+		tensor.ApplyR2D(oe, d.Dt, tr, np1, np1, np1)
+		tensor.ApplyS2D(us, d.Dt, ts, np1, np1, np1)
+		for i := 0; i < np; i++ {
+			oe[i] += us[i]
+		}
+		return
+	}
+	ur, us, ut := s[:np], s[np:2*np], s[2*np:3*np]
+	tr, ts, tt := s[3*np:4*np], s[4*np:5*np], s[5*np:6*np]
+	tensor.ApplyR3D(ur, m.D, ue, np1, np1, np1, np1)
+	tensor.ApplyS3D(us, m.D, ue, np1, np1, np1, np1)
+	tensor.ApplyT3D(ut, m.D, ue, np1, np1, np1, np1)
+	g := m.G
+	off := e * np
+	for i := 0; i < np; i++ {
+		r, sv, tv := ur[i], us[i], ut[i]
+		tr[i] = g[0][off+i]*r + g[1][off+i]*sv + g[2][off+i]*tv
+		ts[i] = g[1][off+i]*r + g[3][off+i]*sv + g[4][off+i]*tv
+		tt[i] = g[2][off+i]*r + g[4][off+i]*sv + g[5][off+i]*tv
+	}
+	tensor.ApplyR3D(oe, d.Dt, tr, np1, np1, np1, np1)
+	tensor.ApplyS3D(us, d.Dt, ts, np1, np1, np1, np1)
+	tensor.ApplyT3D(ut, d.Dt, tt, np1, np1, np1, np1)
+	for i := 0; i < np; i++ {
+		oe[i] += us[i] + ut[i]
+	}
+}
+
+// GatherGlobal compresses an element-local continuous field to one value
+// per global node.
+func (d *Disc) GatherGlobal(u []float64) []float64 {
+	g := make([]float64, d.M.NGlobal)
+	for i, gid := range d.M.GID {
+		g[gid] = u[i]
+	}
+	return g
+}
+
+// ScatterGlobal expands a global-node vector to the element-local layout.
+func (d *Disc) ScatterGlobal(g []float64) []float64 {
+	u := make([]float64, len(d.M.GID))
+	for i, gid := range d.M.GID {
+		u[i] = g[gid]
+	}
+	return u
+}

@@ -1,0 +1,440 @@
+package sem
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mesh"
+	"repro/internal/solver"
+)
+
+func boxDisc(t *testing.T, nx, ny, n, workers int) *Disc {
+	t.Helper()
+	spec := mesh.Box2D(mesh.Box2DSpec{Nx: nx, Ny: ny, X0: 0, X1: 1, Y0: 0, Y1: 1})
+	m, err := mesh.Discretize(spec, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(m, m.BoundaryMask(nil), workers)
+}
+
+// solvePoisson solves -∇²u = f with homogeneous Dirichlet BCs and compares
+// against the exact solution u = sin(πx)sin(πy).
+func solvePoisson(t *testing.T, d *Disc) float64 {
+	t.Helper()
+	m := d.M
+	n := m.K * m.Np
+	b := make([]float64, n)
+	for i := 0; i < n; i++ {
+		f := 2 * math.Pi * math.Pi * math.Sin(math.Pi*m.X[i]) * math.Sin(math.Pi*m.Y[i])
+		b[i] = m.B[i] * f // weak-form RHS: B f
+	}
+	d.Assemble(b)
+	x := make([]float64, n)
+	st := solver.CG(d.Laplacian, d.Dot, x, b, solver.Options{Tol: 1e-12, Relative: true, MaxIter: 2000})
+	if !st.Converged {
+		t.Fatalf("Poisson CG did not converge: %+v", st)
+	}
+	var maxErr float64
+	for i := 0; i < n; i++ {
+		exact := math.Sin(math.Pi*m.X[i]) * math.Sin(math.Pi*m.Y[i])
+		if e := math.Abs(x[i] - exact); e > maxErr {
+			maxErr = e
+		}
+	}
+	return maxErr
+}
+
+func TestPoissonSpectralConvergence(t *testing.T) {
+	var prev float64
+	for i, n := range []int{4, 6, 8} {
+		d := boxDisc(t, 2, 2, n, 1)
+		err := solvePoisson(t, d)
+		if i > 0 && err > prev/5 {
+			t.Errorf("N=%d: error %g did not drop spectrally from %g", n, err, prev)
+		}
+		prev = err
+	}
+	if prev > 1e-7 {
+		t.Errorf("N=8 Poisson error too large: %g", prev)
+	}
+}
+
+func TestWorkersGiveIdenticalResults(t *testing.T) {
+	d1 := boxDisc(t, 4, 4, 6, 1)
+	d4 := boxDisc(t, 4, 4, 6, 4)
+	n := d1.M.K * d1.M.Np
+	u := make([]float64, n)
+	for i := range u {
+		u[i] = math.Sin(3*d1.M.X[i]) * math.Cos(2*d1.M.Y[i])
+	}
+	o1 := make([]float64, n)
+	o4 := make([]float64, n)
+	d1.StiffnessLocal(o1, u)
+	d4.StiffnessLocal(o4, u)
+	for i := range o1 {
+		if o1[i] != o4[i] {
+			t.Fatalf("worker pool changed result at %d: %g vs %g", i, o1[i], o4[i])
+		}
+	}
+}
+
+func TestLaplacianSymmetricSPD(t *testing.T) {
+	d := boxDisc(t, 2, 2, 5, 1)
+	n := d.M.K * d.M.Np
+	u := make([]float64, n)
+	v := make([]float64, n)
+	for i := range u {
+		u[i] = math.Sin(float64(i))
+		v[i] = math.Cos(float64(2 * i))
+	}
+	// Make continuous and masked (domain of the assembled operator).
+	d.DirectStiffnessAverage(u)
+	d.DirectStiffnessAverage(v)
+	d.ApplyMask(u)
+	d.ApplyMask(v)
+	au := make([]float64, n)
+	av := make([]float64, n)
+	d.Laplacian(au, u)
+	d.Laplacian(av, v)
+	lhs := d.Dot(au, v)
+	rhs := d.Dot(u, av)
+	if math.Abs(lhs-rhs) > 1e-8*math.Abs(lhs) {
+		t.Errorf("Laplacian not symmetric: %g vs %g", lhs, rhs)
+	}
+	if e := d.Dot(au, u); e <= 0 {
+		t.Errorf("Laplacian not positive on a nonzero masked field: %g", e)
+	}
+}
+
+func TestLaplacianAnnihilatesConstantsUnmasked(t *testing.T) {
+	spec := mesh.Box2D(mesh.Box2DSpec{Nx: 3, Ny: 2, X1: 3, Y1: 2})
+	m, err := mesh.Discretize(spec, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := New(m, nil, 1) // pure Neumann
+	n := m.K * m.Np
+	u := make([]float64, n)
+	for i := range u {
+		u[i] = 7.5
+	}
+	out := make([]float64, n)
+	d.Laplacian(out, u)
+	for i := range out {
+		if math.Abs(out[i]) > 1e-9 {
+			t.Fatalf("Laplacian of constant not zero: %g at %d", out[i], i)
+		}
+	}
+}
+
+func TestHelmholtzAddsMass(t *testing.T) {
+	d := boxDisc(t, 2, 2, 4, 1)
+	n := d.M.K * d.M.Np
+	u := make([]float64, n)
+	for i := range u {
+		u[i] = math.Sin(d.M.X[i] + d.M.Y[i])
+	}
+	d.DirectStiffnessAverage(u)
+	d.ApplyMask(u)
+	a := make([]float64, n)
+	h := make([]float64, n)
+	d.Laplacian(a, u)
+	lambda := 3.7
+	d.Helmholtz(h, u, 1, lambda)
+	// h - a should equal assembled lambda*B*u.
+	bu := make([]float64, n)
+	d.MassApply(bu, u)
+	for i := range bu {
+		bu[i] *= lambda
+	}
+	d.Assemble(bu)
+	for i := range h {
+		if math.Abs(h[i]-a[i]-bu[i]) > 1e-9 {
+			t.Fatalf("Helmholtz != A + λB at %d: %g", i, h[i]-a[i]-bu[i])
+		}
+	}
+}
+
+func TestHelmholtzDiagMatchesOperator(t *testing.T) {
+	d := boxDisc(t, 2, 2, 4, 1)
+	n := d.M.K * d.M.Np
+	diag := d.HelmholtzDiag(1.0, 2.0)
+	// Compare against applying the operator to unit global basis vectors:
+	// diag_g = e_gᵀ H e_g.
+	e := make([]float64, n)
+	out := make([]float64, n)
+	checked := 0
+	for g := 0; g < d.M.NGlobal && checked < 25; g += 7 {
+		for i := range e {
+			e[i] = 0
+			if d.M.GID[i] == int64(g) {
+				e[i] = 1
+			}
+		}
+		if d.Mask != nil {
+			masked := false
+			for i := range e {
+				if e[i] == 1 && d.Mask[i] == 0 {
+					masked = true
+				}
+			}
+			if masked {
+				continue
+			}
+		}
+		d.Helmholtz(out, e, 1.0, 2.0)
+		var got float64
+		var want float64
+		for i := range e {
+			if e[i] == 1 {
+				got = out[i]
+				want = diag[i]
+				break
+			}
+		}
+		if math.Abs(got-want) > 1e-9*math.Max(1, math.Abs(want)) {
+			t.Fatalf("diag mismatch at global %d: %g vs %g", g, got, want)
+		}
+		checked++
+	}
+	if checked < 5 {
+		t.Fatal("too few diagonal entries checked")
+	}
+}
+
+func TestJacobiPCGFasterThanCG(t *testing.T) {
+	d := boxDisc(t, 3, 3, 7, 1)
+	n := d.M.K * d.M.Np
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = d.M.B[i] * math.Sin(2*math.Pi*d.M.X[i])
+	}
+	d.Assemble(b)
+	lambda := 100.0
+	apply := func(out, in []float64) { d.Helmholtz(out, in, 1, lambda) }
+	x1 := make([]float64, n)
+	plain := solver.CG(apply, d.Dot, x1, b, solver.Options{Tol: 1e-10, Relative: true, MaxIter: 3000})
+	diag := d.HelmholtzDiag(1, lambda)
+	pre := func(out, in []float64) {
+		for i := range in {
+			out[i] = in[i] / diag[i]
+		}
+	}
+	x2 := make([]float64, n)
+	jac := solver.CG(apply, d.Dot, x2, b, solver.Options{Tol: 1e-10, Relative: true, MaxIter: 3000, Precond: pre})
+	if !plain.Converged || !jac.Converged {
+		t.Fatalf("CG failed: plain %+v jacobi %+v", plain, jac)
+	}
+	if jac.Iterations >= plain.Iterations {
+		t.Errorf("Jacobi PCG (%d iters) not faster than CG (%d iters)", jac.Iterations, plain.Iterations)
+	}
+	for i := range x1 {
+		if math.Abs(x1[i]-x2[i]) > 1e-6 {
+			t.Fatalf("solutions disagree at %d", i)
+		}
+	}
+}
+
+func TestGradOfLinearFieldIsExact(t *testing.T) {
+	// On the deformed cylinder mesh the gradient of 3x - 2y must be (3,-2).
+	spec := mesh.CylinderOGrid(mesh.CylinderOGridSpec{NTheta: 8, NLayer: 3, R: 0.5, H: 2, WallRatio: 4})
+	m, err := mesh.Discretize(spec, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := New(m, nil, 2)
+	n := m.K * m.Np
+	u := make([]float64, n)
+	for i := range u {
+		u[i] = 3*m.X[i] - 2*m.Y[i]
+	}
+	gx := make([]float64, n)
+	gy := make([]float64, n)
+	d.Grad([][]float64{gx, gy}, u)
+	for i := range gx {
+		if math.Abs(gx[i]-3) > 1e-8 || math.Abs(gy[i]+2) > 1e-8 {
+			t.Fatalf("gradient wrong at %d: (%g, %g)", i, gx[i], gy[i])
+		}
+	}
+}
+
+func TestGrad3D(t *testing.T) {
+	spec := mesh.Box3D(mesh.Box3DSpec{Nx: 2, Ny: 2, Nz: 2, X1: 1, Y1: 2, Z1: 3})
+	m, err := mesh.Discretize(spec, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := New(m, nil, 1)
+	n := m.K * m.Np
+	u := make([]float64, n)
+	for i := range u {
+		u[i] = m.X[i]*m.X[i] + 2*m.Y[i]*m.Zc[i]
+	}
+	g := [][]float64{make([]float64, n), make([]float64, n), make([]float64, n)}
+	d.Grad(g, u)
+	for i := range u {
+		if math.Abs(g[0][i]-2*m.X[i]) > 1e-8 ||
+			math.Abs(g[1][i]-2*m.Zc[i]) > 1e-8 ||
+			math.Abs(g[2][i]-2*m.Y[i]) > 1e-8 {
+			t.Fatalf("3D gradient wrong at %d", i)
+		}
+	}
+}
+
+func TestPoisson3D(t *testing.T) {
+	spec := mesh.Box3D(mesh.Box3DSpec{Nx: 2, Ny: 2, Nz: 2, X1: 1, Y1: 1, Z1: 1})
+	m, err := mesh.Discretize(spec, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := New(m, m.BoundaryMask(nil), 2)
+	n := m.K * m.Np
+	b := make([]float64, n)
+	pi := math.Pi
+	for i := 0; i < n; i++ {
+		f := 3 * pi * pi * math.Sin(pi*m.X[i]) * math.Sin(pi*m.Y[i]) * math.Sin(pi*m.Zc[i])
+		b[i] = m.B[i] * f
+	}
+	d.Assemble(b)
+	x := make([]float64, n)
+	st := solver.CG(d.Laplacian, d.Dot, x, b, solver.Options{Tol: 1e-11, Relative: true, MaxIter: 3000})
+	if !st.Converged {
+		t.Fatalf("3D Poisson CG did not converge: %+v", st)
+	}
+	var maxErr float64
+	for i := 0; i < n; i++ {
+		exact := math.Sin(pi*m.X[i]) * math.Sin(pi*m.Y[i]) * math.Sin(pi*m.Zc[i])
+		if e := math.Abs(x[i] - exact); e > maxErr {
+			maxErr = e
+		}
+	}
+	if maxErr > 5e-4 {
+		t.Errorf("3D Poisson error %g too large", maxErr)
+	}
+}
+
+func TestFilterStrengthOrdering(t *testing.T) {
+	d := boxDisc(t, 2, 2, 8, 1)
+	n := d.M.K * d.M.Np
+	mkField := func() []float64 {
+		u := make([]float64, n)
+		for i := range u {
+			u[i] = math.Sin(20*d.M.X[i]) * math.Cos(17*d.M.Y[i]) // rough field
+		}
+		return u
+	}
+	norm := func(u []float64) float64 { return d.L2Norm(u) }
+	u0 := mkField()
+	u3 := mkField()
+	u10 := mkField()
+	d.ApplyFilter(NewFilter(d.M, 0), u0)
+	d.ApplyFilter(NewFilter(d.M, 0.3), u3)
+	d.ApplyFilter(NewFilter(d.M, 1.0), u10)
+	if norm(u0) != norm(mkField()) {
+		t.Error("alpha=0 filter changed the field")
+	}
+	if !(norm(u10) < norm(u3) && norm(u3) < norm(u0)) {
+		t.Errorf("filter strength ordering violated: %g %g %g", norm(u0), norm(u3), norm(u10))
+	}
+	// Smooth (degree < N) fields are untouched by any alpha.
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = 1 + d.M.X[i] + d.M.Y[i]*d.M.X[i]
+	}
+	sc := append([]float64(nil), s...)
+	d.ApplyFilter(NewFilter(d.M, 0.9), sc)
+	for i := range s {
+		if math.Abs(sc[i]-s[i]) > 1e-10 {
+			t.Fatal("filter damaged a low-order field")
+		}
+	}
+}
+
+func TestFilter3D(t *testing.T) {
+	spec := mesh.Box3D(mesh.Box3DSpec{Nx: 1, Ny: 1, Nz: 1, X1: 1, Y1: 1, Z1: 1})
+	m, err := mesh.Discretize(spec, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := New(m, nil, 1)
+	u := make([]float64, m.Np)
+	for i := range u {
+		u[i] = 1 + m.X[i]*m.Y[i]*m.Zc[i]
+	}
+	uc := append([]float64(nil), u...)
+	d.ApplyFilter(NewFilter(m, 0.5), uc)
+	for i := range u {
+		if math.Abs(uc[i]-u[i]) > 1e-10 {
+			t.Fatal("3D filter damaged a low-order field")
+		}
+	}
+}
+
+func TestBuildAssembledCSRMatchesMatrixFree(t *testing.T) {
+	d := boxDisc(t, 2, 2, 4, 1)
+	a := d.BuildAssembledCSR()
+	if a.Rows != d.M.NGlobal {
+		t.Fatalf("CSR size %d vs NGlobal %d", a.Rows, d.M.NGlobal)
+	}
+	n := d.M.K * d.M.Np
+	u := make([]float64, n)
+	for i := range u {
+		u[i] = math.Sin(1.3*d.M.X[i]) + d.M.Y[i]
+	}
+	d.DirectStiffnessAverage(u)
+	d.ApplyMask(u)
+	// Matrix-free application.
+	mf := make([]float64, n)
+	d.Laplacian(mf, u)
+	// CSR application on globals.
+	ug := d.GatherGlobal(u)
+	og := make([]float64, d.M.NGlobal)
+	a.MulVec(og, ug)
+	back := d.ScatterGlobal(og)
+	for i := range mf {
+		if d.Mask != nil && d.Mask[i] == 0 {
+			continue // CSR uses identity rows on Dirichlet nodes
+		}
+		if math.Abs(mf[i]-back[i]) > 1e-9 {
+			t.Fatalf("CSR vs matrix-free mismatch at %d: %g vs %g", i, mf[i], back[i])
+		}
+	}
+}
+
+func TestIntegrateAndNorms(t *testing.T) {
+	d := boxDisc(t, 3, 3, 6, 1)
+	n := d.M.K * d.M.Np
+	one := make([]float64, n)
+	for i := range one {
+		one[i] = 1
+	}
+	if a := d.Integrate(one); math.Abs(a-1) > 1e-12 {
+		t.Errorf("∫1 = %g, want 1", a)
+	}
+	// ∫ sin²(πx)sin²(πy) = 1/4 on the unit square.
+	u := make([]float64, n)
+	for i := range u {
+		u[i] = math.Sin(math.Pi*d.M.X[i]) * math.Sin(math.Pi*d.M.Y[i])
+	}
+	if l2 := d.L2Norm(u); math.Abs(l2-0.5) > 1e-6 {
+		t.Errorf("L2 norm %g, want 0.5", l2)
+	}
+}
+
+func TestFlopCounteradvances(t *testing.T) {
+	d := boxDisc(t, 2, 2, 4, 1)
+	d.ResetFlops()
+	n := d.M.K * d.M.Np
+	u := make([]float64, n)
+	out := make([]float64, n)
+	d.StiffnessLocal(out, u)
+	if d.Flops() <= 0 {
+		t.Error("flop counter did not advance")
+	}
+	before := d.Flops()
+	d.CountFlops(100)
+	if d.Flops() != before+100 {
+		t.Error("CountFlops broken")
+	}
+}

@@ -1,0 +1,240 @@
+package solver
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/la"
+)
+
+func denseOp(a []float64, n int) Operator {
+	return func(out, in []float64) { la.MatVec(out, a, in, n, n) }
+}
+
+func plainDot(u, v []float64) float64 { return la.Dot(u, v) }
+
+func spd(rng *rand.Rand, n int) []float64 {
+	m := make([]float64, n*n)
+	for i := range m {
+		m[i] = rng.NormFloat64()
+	}
+	a := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			for k := 0; k < n; k++ {
+				s += m[k*n+i] * m[k*n+j]
+			}
+			a[i*n+j] = s
+		}
+		a[i*n+i] += 1
+	}
+	return a
+}
+
+func TestCGSolvesSPD(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 40
+	a := spd(rng, n)
+	xTrue := make([]float64, n)
+	for i := range xTrue {
+		xTrue[i] = rng.NormFloat64()
+	}
+	b := make([]float64, n)
+	la.MatVec(b, a, xTrue, n, n)
+	x := make([]float64, n)
+	st := CG(denseOp(a, n), plainDot, x, b, Options{Tol: 1e-12, Relative: true, MaxIter: 500, History: true})
+	if !st.Converged {
+		t.Fatalf("CG failed: %+v", st)
+	}
+	for i := range x {
+		if math.Abs(x[i]-xTrue[i]) > 1e-8 {
+			t.Fatalf("CG solution wrong at %d", i)
+		}
+	}
+	if len(st.ResHist) != st.Iterations+1 {
+		t.Errorf("history length %d, iterations %d", len(st.ResHist), st.Iterations)
+	}
+	if st.ResHist[0] != st.InitialRes {
+		t.Error("history[0] should be the initial residual")
+	}
+}
+
+func TestCGWarmStart(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 30
+	a := spd(rng, n)
+	xTrue := make([]float64, n)
+	for i := range xTrue {
+		xTrue[i] = rng.NormFloat64()
+	}
+	b := make([]float64, n)
+	la.MatVec(b, a, xTrue, n, n)
+	// Start exactly at the solution: zero iterations.
+	x := append([]float64(nil), xTrue...)
+	st := CG(denseOp(a, n), plainDot, x, b, Options{Tol: 1e-10, MaxIter: 100})
+	if st.Iterations != 0 || !st.Converged {
+		t.Errorf("warm start should converge immediately: %+v", st)
+	}
+}
+
+func TestCGZeroRHS(t *testing.T) {
+	n := 10
+	a := spd(rand.New(rand.NewSource(3)), n)
+	x := make([]float64, n)
+	st := CG(denseOp(a, n), plainDot, x, make([]float64, n), Options{Tol: 1e-12, MaxIter: 10})
+	if !st.Converged || st.Iterations != 0 {
+		t.Errorf("zero RHS should converge instantly: %+v", st)
+	}
+}
+
+func TestCGMaxIter(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := 50
+	a := spd(rng, n)
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	x := make([]float64, n)
+	st := CG(denseOp(a, n), plainDot, x, b, Options{Tol: 1e-30, MaxIter: 3})
+	if st.Converged || st.Iterations != 3 {
+		t.Errorf("expected max-iter stop: %+v", st)
+	}
+}
+
+func TestProjectorReducesIterations(t *testing.T) {
+	// A sequence of slowly-varying right-hand sides, as in time stepping:
+	// projection must cut the iteration count substantially (Fig. 4).
+	rng := rand.New(rand.NewSource(5))
+	n := 120
+	a := spd(rng, n)
+	apply := denseOp(a, n)
+	base := make([]float64, n)
+	drift := make([]float64, n)
+	for i := range base {
+		base[i] = rng.NormFloat64()
+		drift[i] = rng.NormFloat64()
+	}
+	rhs := func(step int) []float64 {
+		b := make([]float64, n)
+		tt := float64(step) * 0.01
+		for i := range b {
+			b[i] = base[i] + tt*drift[i] + 0.001*math.Sin(float64(i)+tt)
+		}
+		return b
+	}
+	opt := Options{Tol: 1e-8, MaxIter: 1000}
+	steps := 30
+	var plainIters, projIters int
+	x := make([]float64, n)
+	for s := 0; s < steps; s++ {
+		for i := range x {
+			x[i] = 0
+		}
+		st := CG(apply, plainDot, x, rhs(s), opt)
+		plainIters += st.Iterations
+	}
+	proj := NewProjector(20, apply, plainDot)
+	for s := 0; s < steps; s++ {
+		st := proj.ProjectAndSolve(x, rhs(s), opt)
+		projIters += st.Iterations
+		// Verify the returned solution really solves the system.
+		r := make([]float64, n)
+		apply(r, x)
+		b := rhs(s)
+		for i := range r {
+			r[i] -= b[i]
+		}
+		if la.Nrm2(r) > 1e-6 {
+			t.Fatalf("step %d: projected solution residual %g", s, la.Nrm2(r))
+		}
+	}
+	if projIters*2 > plainIters {
+		t.Errorf("projection did not cut iterations: %d vs %d", projIters, plainIters)
+	}
+	if proj.Len() == 0 {
+		t.Error("projector basis empty after solves")
+	}
+}
+
+func TestProjectorRestartAtCapacity(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	n := 40
+	a := spd(rng, n)
+	apply := denseOp(a, n)
+	proj := NewProjector(5, apply, plainDot)
+	x := make([]float64, n)
+	for s := 0; s < 12; s++ {
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		proj.ProjectAndSolve(x, b, Options{Tol: 1e-9, MaxIter: 500})
+		if proj.Len() > 5 {
+			t.Fatalf("basis exceeded capacity: %d", proj.Len())
+		}
+	}
+	proj.Reset()
+	if proj.Len() != 0 {
+		t.Error("Reset did not clear the basis")
+	}
+}
+
+func TestProjectorBasisAOrthonormal(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 30
+	a := spd(rng, n)
+	apply := denseOp(a, n)
+	proj := NewProjector(10, apply, plainDot)
+	x := make([]float64, n)
+	for s := 0; s < 6; s++ {
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		proj.ProjectAndSolve(x, b, Options{Tol: 1e-10, MaxIter: 500})
+	}
+	for i := range proj.xs {
+		for j := range proj.xs {
+			v := plainDot(proj.xs[i], proj.axs[j])
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(v-want) > 1e-6 {
+				t.Fatalf("basis not A-orthonormal: (%d,%d)=%g", i, j, v)
+			}
+		}
+	}
+}
+
+func TestCGJacobiPreconditioner(t *testing.T) {
+	// Strongly diagonal-scaled SPD system: Jacobi should nearly solve it.
+	n := 60
+	a := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		a[i*n+i] = float64(1 + i*i)
+		if i+1 < n {
+			a[i*n+i+1] = 0.1
+			a[(i+1)*n+i] = 0.1
+		}
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = 1
+	}
+	pre := func(out, in []float64) {
+		for i := range in {
+			out[i] = in[i] / a[i*n+i]
+		}
+	}
+	x1 := make([]float64, n)
+	st1 := CG(denseOp(a, n), plainDot, x1, b, Options{Tol: 1e-10, Relative: true, MaxIter: 500})
+	x2 := make([]float64, n)
+	st2 := CG(denseOp(a, n), plainDot, x2, b, Options{Tol: 1e-10, Relative: true, MaxIter: 500, Precond: pre})
+	if st2.Iterations >= st1.Iterations {
+		t.Errorf("Jacobi PCG %d iters vs CG %d", st2.Iterations, st1.Iterations)
+	}
+}

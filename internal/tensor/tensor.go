@@ -1,0 +1,106 @@
+// Package tensor implements the tensor-product operator application at the
+// heart of spectral element efficiency (Sec. 3 of the paper): matrix-vector
+// products with Kronecker-product operators are recast as small dense
+// matrix-matrix products, giving O(K N^{d+1}) work and O(K N^d) storage for
+// K elements of order N in d dimensions.
+//
+// Layout convention: element-local fields are stored with the first
+// reference coordinate (r) fastest, i.e. u[(t*ns+s)*nr + r] in 3D, which
+// makes "apply along r" a (ns·nt) x nr by nr x mr matrix product.
+package tensor
+
+import "repro/internal/la"
+
+// ApplyR2D computes out = (I ⊗ A) u: the operator A (mr x nr) acts along
+// the r (fastest) dimension of the nr x ns field u. out has shape mr x ns
+// (r fastest) and must not alias u.
+func ApplyR2D(out, a, u []float64, mr, nr, ns int) {
+	// out[s][r'] = Σ_r u[s][r] A[r'][r]  =>  Out = U Aᵀ with U (ns x nr).
+	la.MulABt(out, u, a, ns, nr, mr)
+}
+
+// ApplyS2D computes out = (B ⊗ I) u: B (ms x ns) acts along the s (slow)
+// dimension of the nr x ns field u. out has shape nr x ms and must not
+// alias u.
+func ApplyS2D(out, b, u []float64, ms, ns, nr int) {
+	// Out = B U with U (ns x nr) row-major.
+	la.Mul(out, b, u, ms, ns, nr)
+}
+
+// Apply2D computes out = (B ⊗ A) u for A (mr x nr), B (ms x ns) and the
+// nr x ns field u, using work as scratch (len >= ns*mr). out must not alias
+// u or work.
+func Apply2D(out, a, b, u, work []float64, mr, nr, ms, ns int) {
+	ApplyR2D(work, a, u, mr, nr, ns)
+	ApplyS2D(out, b, work, ms, ns, mr)
+}
+
+// ApplyR3D applies A (mr x nr) along r of the nr x ns x nt field u; out has
+// shape mr x ns x nt.
+func ApplyR3D(out, a, u []float64, mr, nr, ns, nt int) {
+	la.MulABt(out, u, a, ns*nt, nr, mr)
+}
+
+// ApplyS3D applies B (ms x ns) along s of the nr x ns x nt field u; out has
+// shape nr x ms x nt.
+func ApplyS3D(out, b, u []float64, ms, ns, nr, nt int) {
+	for k := 0; k < nt; k++ {
+		la.Mul(out[k*ms*nr:(k+1)*ms*nr], b, u[k*ns*nr:(k+1)*ns*nr], ms, ns, nr)
+	}
+}
+
+// ApplyT3D applies C (mt x nt) along t of the nr x ns x nt field u; out has
+// shape nr x ns x mt.
+func ApplyT3D(out, c, u []float64, mt, nt, nr, ns int) {
+	la.Mul(out, c, u, mt, nt, nr*ns)
+}
+
+// Apply3D computes out = (C ⊗ B ⊗ A) u. work must have length at least
+// Work3DLen(mr, nr, ms, ns, mt, nt); out must not alias u or work, but may
+// alias nothing else is required.
+func Apply3D(out, a, b, c, u, work []float64, mr, nr, ms, ns, mt, nt int) {
+	w1 := work[:mr*ns*nt]
+	w2 := work[mr*ns*nt : mr*ns*nt+mr*ms*nt]
+	ApplyR3D(w1, a, u, mr, nr, ns, nt)
+	ApplyS3D(w2, b, w1, ms, ns, mr, nt)
+	ApplyT3D(out, c, w2, mt, nt, mr, ms)
+}
+
+// ApplyDim applies the square operator A (n x n) along reference dimension
+// dim (0 = r, 1 = s, 2 = t) of a field with extent n in each of dims (2 or
+// 3) dimensions. out must not alias u.
+func ApplyDim(out, a, u []float64, n, dims, dim int) {
+	if dims == 2 {
+		if dim == 0 {
+			ApplyR2D(out, a, u, n, n, n)
+		} else {
+			ApplyS2D(out, a, u, n, n, n)
+		}
+		return
+	}
+	switch dim {
+	case 0:
+		ApplyR3D(out, a, u, n, n, n, n)
+	case 1:
+		ApplyS3D(out, a, u, n, n, n, n)
+	default:
+		ApplyT3D(out, a, u, n, n, n, n)
+	}
+}
+
+// Work3DLen returns the scratch length Apply3D may need for the given shape.
+func Work3DLen(mr, nr, ms, ns, mt, nt int) int {
+	return mr*ns*nt + mr*ms*nt
+}
+
+// FlopsApply2D returns the floating point operations of Apply2D.
+func FlopsApply2D(mr, nr, ms, ns int) int64 {
+	return 2 * (int64(mr)*int64(nr)*int64(ns) + int64(ms)*int64(ns)*int64(mr))
+}
+
+// FlopsApply3D returns the floating point operations of Apply3D.
+func FlopsApply3D(mr, nr, ms, ns, mt, nt int) int64 {
+	return 2 * (int64(mr)*int64(nr)*int64(ns)*int64(nt) +
+		int64(ms)*int64(ns)*int64(mr)*int64(nt) +
+		int64(mt)*int64(nt)*int64(mr)*int64(ms))
+}

@@ -1,0 +1,188 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// kron2Ref computes (B ⊗ A) u by explicit Kronecker expansion for reference:
+// v[s'*mr+r'] = Σ_{s,r} B[s'][s] A[r'][r] u[s*nr+r].
+func kron2Ref(a, b, u []float64, mr, nr, ms, ns int) []float64 {
+	v := make([]float64, mr*ms)
+	for sp := 0; sp < ms; sp++ {
+		for rp := 0; rp < mr; rp++ {
+			var sum float64
+			for s := 0; s < ns; s++ {
+				for r := 0; r < nr; r++ {
+					sum += b[sp*ns+s] * a[rp*nr+r] * u[s*nr+r]
+				}
+			}
+			v[sp*mr+rp] = sum
+		}
+	}
+	return v
+}
+
+func kron3Ref(a, b, c, u []float64, mr, nr, ms, ns, mt, nt int) []float64 {
+	v := make([]float64, mr*ms*mt)
+	for tp := 0; tp < mt; tp++ {
+		for sp := 0; sp < ms; sp++ {
+			for rp := 0; rp < mr; rp++ {
+				var sum float64
+				for tt := 0; tt < nt; tt++ {
+					for s := 0; s < ns; s++ {
+						for r := 0; r < nr; r++ {
+							sum += c[tp*nt+tt] * b[sp*ns+s] * a[rp*nr+r] * u[(tt*ns+s)*nr+r]
+						}
+					}
+				}
+				v[(tp*ms+sp)*mr+rp] = sum
+			}
+		}
+	}
+	return v
+}
+
+func randSlice(rng *rand.Rand, n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}
+
+func TestApply2DMatchesKronecker(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cases := [][4]int{{3, 3, 3, 3}, {2, 5, 4, 3}, {7, 7, 7, 7}, {1, 4, 6, 2}}
+	for _, cs := range cases {
+		mr, nr, ms, ns := cs[0], cs[1], cs[2], cs[3]
+		a := randSlice(rng, mr*nr)
+		b := randSlice(rng, ms*ns)
+		u := randSlice(rng, nr*ns)
+		want := kron2Ref(a, b, u, mr, nr, ms, ns)
+		got := make([]float64, mr*ms)
+		work := make([]float64, ns*mr)
+		Apply2D(got, a, b, u, work, mr, nr, ms, ns)
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-11 {
+				t.Fatalf("case %v: mismatch at %d: %g vs %g", cs, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestApply3DMatchesKronecker(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	cases := [][6]int{{3, 3, 3, 3, 3, 3}, {2, 4, 3, 5, 4, 2}, {5, 5, 5, 5, 5, 5}}
+	for _, cs := range cases {
+		mr, nr, ms, ns, mt, nt := cs[0], cs[1], cs[2], cs[3], cs[4], cs[5]
+		a := randSlice(rng, mr*nr)
+		b := randSlice(rng, ms*ns)
+		c := randSlice(rng, mt*nt)
+		u := randSlice(rng, nr*ns*nt)
+		want := kron3Ref(a, b, c, u, mr, nr, ms, ns, mt, nt)
+		got := make([]float64, mr*ms*mt)
+		work := make([]float64, Work3DLen(mr, nr, ms, ns, mt, nt))
+		Apply3D(got, a, b, c, u, work, mr, nr, ms, ns, mt, nt)
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-10 {
+				t.Fatalf("case %v: mismatch at %d: %g vs %g", cs, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestApply3DQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dim := func() int { return 1 + rng.Intn(5) }
+		mr, nr, ms, ns, mt, nt := dim(), dim(), dim(), dim(), dim(), dim()
+		a := randSlice(rng, mr*nr)
+		b := randSlice(rng, ms*ns)
+		c := randSlice(rng, mt*nt)
+		u := randSlice(rng, nr*ns*nt)
+		want := kron3Ref(a, b, c, u, mr, nr, ms, ns, mt, nt)
+		got := make([]float64, mr*ms*mt)
+		work := make([]float64, Work3DLen(mr, nr, ms, ns, mt, nt))
+		Apply3D(got, a, b, c, u, work, mr, nr, ms, ns, mt, nt)
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIdentityApply(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 4
+	id := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		id[i*n+i] = 1
+	}
+	u := randSlice(rng, n*n*n)
+	out := make([]float64, n*n*n)
+	work := make([]float64, Work3DLen(n, n, n, n, n, n))
+	Apply3D(out, id, id, id, u, work, n, n, n, n, n, n)
+	for i := range u {
+		if math.Abs(out[i]-u[i]) > 1e-13 {
+			t.Fatalf("identity tensor apply changed the field at %d", i)
+		}
+	}
+}
+
+func TestSingleDimensionApplications(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	nr, ns, nt := 3, 4, 5
+	u := randSlice(rng, nr*ns*nt)
+	a := randSlice(rng, 2*nr)
+	id := func(n int) []float64 {
+		m := make([]float64, n*n)
+		for i := 0; i < n; i++ {
+			m[i*n+i] = 1
+		}
+		return m
+	}
+	// ApplyR3D == Apply3D with identity B, C.
+	wantFull := kron3Ref(a, id(ns), id(nt), u, 2, nr, ns, ns, nt, nt)
+	got := make([]float64, 2*ns*nt)
+	ApplyR3D(got, a, u, 2, nr, ns, nt)
+	for i := range wantFull {
+		if math.Abs(got[i]-wantFull[i]) > 1e-12 {
+			t.Fatalf("ApplyR3D mismatch at %d", i)
+		}
+	}
+	b := randSlice(rng, 3*ns)
+	wantS := kron3Ref(id(nr), b, id(nt), u, nr, nr, 3, ns, nt, nt)
+	gotS := make([]float64, nr*3*nt)
+	ApplyS3D(gotS, b, u, 3, ns, nr, nt)
+	for i := range wantS {
+		if math.Abs(gotS[i]-wantS[i]) > 1e-12 {
+			t.Fatalf("ApplyS3D mismatch at %d", i)
+		}
+	}
+	c := randSlice(rng, 2*nt)
+	wantT := kron3Ref(id(nr), id(ns), c, u, nr, nr, ns, ns, 2, nt)
+	gotT := make([]float64, nr*ns*2)
+	ApplyT3D(gotT, c, u, 2, nt, nr, ns)
+	for i := range wantT {
+		if math.Abs(gotT[i]-wantT[i]) > 1e-12 {
+			t.Fatalf("ApplyT3D mismatch at %d", i)
+		}
+	}
+}
+
+func TestFlopCounts(t *testing.T) {
+	if f := FlopsApply2D(4, 4, 4, 4); f != 2*(64+64) {
+		t.Errorf("FlopsApply2D = %d", f)
+	}
+	if f := FlopsApply3D(2, 2, 2, 2, 2, 2); f != 2*3*16 {
+		t.Errorf("FlopsApply3D = %d", f)
+	}
+}
