@@ -8,6 +8,7 @@ import (
 	"repro/internal/coarse"
 	"repro/internal/comm"
 	"repro/internal/flowcases"
+	"repro/internal/instrument"
 	"repro/internal/la"
 	"repro/internal/mesh"
 	"repro/internal/perfmodel"
@@ -25,6 +26,26 @@ func BenchmarkTable1ChannelStep(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1ChannelStepInstrumented is the same stepping loop with a
+// live metrics registry attached; comparing against BenchmarkTable1ChannelStep
+// bounds the instrumentation overhead (target: enabled <2% — disabled
+// instrumentation is a nil-receiver branch and costs nothing measurable).
+func BenchmarkTable1ChannelStepInstrumented(b *testing.B) {
+	s, _, err := flowcases.Channel(flowcases.ChannelConfig{
+		Re: 7500, Alpha: 1, N: 9, Dt: 0.003125, Order: 2,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.AttachMetrics(instrument.New())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := s.Step(); err != nil {

@@ -12,6 +12,7 @@ import (
 	"os"
 
 	"repro/internal/flowcases"
+	"repro/internal/instrument"
 	"repro/internal/ns"
 )
 
@@ -24,6 +25,8 @@ func main() {
 	l := flag.Int("L", 20, "pressure projection basis size")
 	workers := flag.Int("workers", 2, "element-loop workers (dual-processor mode analogue)")
 	every := flag.Int("report", 10, "report interval")
+	stats := flag.Bool("stats", false, "print the per-phase instrumentation report after the run")
+	statsJSON := flag.Bool("stats-json", false, "like -stats, but emit JSON")
 	flag.Parse()
 
 	var s *ns.Solver
@@ -53,6 +56,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	var reg *instrument.Registry
+	if *stats || *statsJSON {
+		reg = instrument.New()
+		s.AttachMetrics(reg)
+	}
 	fmt.Printf("case=%s  K=%d  N=%d  dofs/component=%d  workers=%d\n",
 		*caseName, s.M.K, s.M.N, s.M.K*s.M.Np, *workers)
 	fmt.Printf("%6s %9s %6s %8s %8s %8s %12s\n",
@@ -71,4 +79,16 @@ func main() {
 		}
 	}
 	fmt.Printf("\nmetered flops (velocity-grid operators): %.3e\n", float64(d.Flops()))
+	if reg != nil {
+		rep := reg.Report()
+		if *statsJSON {
+			j, err := rep.JSON()
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("\n%s\n", j)
+		} else {
+			fmt.Printf("\n%s", rep.String())
+		}
+	}
 }

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/coarse"
 	"repro/internal/comm"
+	"repro/internal/instrument"
 	"repro/internal/la"
 )
 
@@ -32,7 +33,8 @@ func fig6(quick bool) {
 		for i := range b {
 			b[i] = rng.NormFloat64()
 		}
-		fmt.Printf("%6s %12s %12s %12s %12s\n", "P", "XXT", "red. LU", "dist. A^-1", "2*lat*logP")
+		fmt.Printf("%6s %12s %12s %12s %12s %10s %10s\n",
+			"P", "XXT", "red. LU", "dist. A^-1", "2*lat*logP", "xxt msgs", "xxt KB")
 		var lastNNZ, lastCross int
 		for p := 1; p <= maxP; p *= 4 {
 			m := comm.ASCIRed(p)
@@ -47,10 +49,15 @@ func fig6(quick bool) {
 			for old := 0; old < n; old++ {
 				bp[inv[old]] = b[old]
 			}
-			ranks := comm.NewNetwork(m).Run(func(r *comm.Rank) {
+			reg := instrument.New()
+			net := comm.NewNetwork(m)
+			net.Attach(reg) // measured traffic counters printed per row
+			ranks := net.Run(func(r *comm.Rank) {
 				xxt.SolveOn(r, bp[xxt.BlockLo[r.ID]:xxt.BlockHi[r.ID]])
 			})
 			tXXT := comm.MaxTime(ranks)
+			xxtMsgs := reg.Counter("comm/send.msgs").Value()
+			xxtKB := float64(reg.Counter("comm/send.bytes").Value()) / 1024
 			lastNNZ, lastCross = xxt.NNZ(), xxt.CrossCount()
 			// Redundant banded LU.
 			lu, err := coarse.NewRedundantLU(a, nx, p)
@@ -74,8 +81,8 @@ func fig6(quick bool) {
 				di.SolveOn(r, b[lo:hi], r.ID == 0)
 			})
 			tDI := comm.MaxTime(ranks)
-			fmt.Printf("%6d %12.3e %12.3e %12.3e %12.3e\n",
-				p, tXXT, tLU, tDI, coarse.LatencyBound(m))
+			fmt.Printf("%6d %12.3e %12.3e %12.3e %12.3e %10d %10.1f\n",
+				p, tXXT, tLU, tDI, coarse.LatencyBound(m), xxtMsgs, xxtKB)
 		}
 		fmt.Printf("(XXT factor at max P: %d nonzeros, %d separator-crossing columns)\n",
 			lastNNZ, lastCross)

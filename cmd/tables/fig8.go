@@ -11,7 +11,7 @@ import (
 // iterations per step (right panel, measured on the reduced hairpin run).
 func fig8(quick bool) {
 	fmt.Println("Fig 8: first 26 time steps, (K,N)=(8168,15), P=2048 dual perf (modeled)")
-	press, helm, sub := measuredHistory(26, quick)
+	press, helm, sub, _ := measuredHistory(26, quick)
 	run := perfmodel.HairpinRun(press, helm, sub)
 	est := run.Predict(perfmodel.ASCIRedPerf(), 2048, true)
 	fmt.Printf("%6s %14s %16s %18s\n", "step", "time/step (s)", "pressure iters", "helmholtz iters")

@@ -4,13 +4,16 @@ import (
 	"fmt"
 
 	"repro/internal/flowcases"
+	"repro/internal/instrument"
 	"repro/internal/perfmodel"
 )
 
 // measuredHistory runs a reduced hairpin problem to obtain the shape of the
 // per-step iteration history (Fig. 8 right), then rescales the settled
-// pressure-iteration level to the paper's production band (30–50).
-func measuredHistory(steps int, quick bool) (press, helm, sub []int) {
+// pressure-iteration level to the paper's production band (30–50). The run
+// is instrumented; the returned registry (nil when the run fell back to the
+// synthetic history) holds the measured per-phase timings and counters.
+func measuredHistory(steps int, quick bool) (press, helm, sub []int, reg *instrument.Registry) {
 	cfg := flowcases.HairpinConfig{
 		Nx: 6, Ny: 4, Nz: 3, N: 5, Re: 1600, Dt: 0.05, Workers: 2, FilterA: 0.05,
 	}
@@ -20,8 +23,11 @@ func measuredHistory(steps int, quick bool) (press, helm, sub []int) {
 	s, err := flowcases.Hairpin(cfg)
 	if err != nil {
 		fmt.Println("  (hairpin setup failed, using synthetic history:", err, ")")
-		return perfmodel.PaperIterationHistory(steps, 45, 8, 10)
+		p, h, sb := perfmodel.PaperIterationHistory(steps, 45, 8, 10)
+		return p, h, sb, nil
 	}
+	reg = instrument.New()
+	s.AttachMetrics(reg)
 	press = make([]int, steps)
 	helm = make([]int, steps)
 	sub = make([]int, steps)
@@ -34,7 +40,7 @@ func measuredHistory(steps int, quick bool) (press, helm, sub []int) {
 			copy(press[i:], p2[i:])
 			copy(helm[i:], h2[i:])
 			copy(sub[i:], s2[i:])
-			return press, helm, sub
+			return press, helm, sub, nil
 		}
 		press[i] = st.PressureIters
 		helm[i] = st.HelmholtzIters[0]
@@ -60,7 +66,62 @@ func measuredHistory(steps int, quick bool) (press, helm, sub []int) {
 			sub[i] = 10 // CFL 1-5 with ~0.4 substep CFL
 		}
 	}
-	return press, helm, sub
+	return press, helm, sub, reg
+}
+
+// phaseBreakdown prints the measured per-phase wall-time shares of the
+// instrumented reduced run beside the flop-model shares of the production
+// configuration — the paper's Table 4 "where does the time go" sanity check.
+func phaseBreakdown(reg *instrument.Registry, run *perfmodel.Run) {
+	if reg == nil {
+		return
+	}
+	var mHelm, mPress, mConv, mFilt float64
+	for i := range run.PressIters {
+		h, p, c, f := run.PhaseFlops(i)
+		mHelm += h
+		mPress += p
+		mConv += c
+		mFilt += f
+	}
+	mTot := mHelm + mPress + mConv + mFilt
+	phases := []struct {
+		label   string
+		timer   string
+		modeled float64
+	}{
+		{"convection", "ns/convect", mConv},
+		{"viscous", "ns/viscous", mHelm},
+		{"pressure", "ns/pressure", mPress},
+		{"filter", "ns/filter", mFilt},
+	}
+	var meaTot float64
+	for _, ph := range phases {
+		meaTot += reg.Timer(ph.timer).Total().Seconds()
+	}
+	fmt.Println("\nPer-phase breakdown: measured wall time (reduced hairpin run) vs")
+	fmt.Println("modeled flop share (production configuration):")
+	fmt.Printf("%12s %12s %11s %11s\n", "phase", "measured s", "measured %", "modeled %")
+	for _, ph := range phases {
+		sec := reg.Timer(ph.timer).Total().Seconds()
+		fmt.Printf("%12s %12.3f %10.1f%% %10.1f%%\n",
+			ph.label, sec, 100*sec/meaTot, 100*ph.modeled/mTot)
+	}
+	var modelPress, modelHelm int
+	for i := range run.PressIters {
+		modelPress += run.PressIters[i]
+		modelHelm += run.HelmIters[i]
+	}
+	fmt.Printf("measured iters: pressure %d, viscous %d (per component);"+
+		" modeled history: pressure %d, viscous %d\n",
+		reg.Counter("solver/pressure.iters").Value(),
+		reg.Counter("solver/viscous.iters").Value()/3,
+		modelPress, modelHelm)
+	fmt.Printf("measured Schwarz split: local FDM %.3f s, coarse XXT %.3f s;"+
+		" projection basis mean %.1f\n",
+		reg.Timer("schwarz/local").Total().Seconds(),
+		reg.Timer("schwarz/coarse").Total().Seconds(),
+		reg.Gauge("solver/projection.basis").Mean())
 }
 
 // table4 models total time and sustained GFLOPS for 26 production steps at
@@ -69,7 +130,7 @@ func measuredHistory(steps int, quick bool) (press, helm, sub []int) {
 func table4(quick bool) {
 	fmt.Println("Table 4: modeled ASCI-Red-333 totals for 26 steps, K=8168, N=15")
 	fmt.Println("(iteration history measured on a reduced hairpin run, rescaled; see DESIGN.md)")
-	press, helm, sub := measuredHistory(26, quick)
+	press, helm, sub, reg := measuredHistory(26, quick)
 	run := perfmodel.HairpinRun(press, helm, sub)
 	std := perfmodel.ASCIRedStd()
 	perf := perfmodel.ASCIRedPerf()
@@ -84,6 +145,7 @@ func table4(quick bool) {
 			p, ss.TotalTime, ss.GFLOPS, sd.TotalTime, sd.GFLOPS,
 			ps.TotalTime, ps.GFLOPS, pd.TotalTime, pd.GFLOPS)
 	}
+	phaseBreakdown(reg, run)
 	fmt.Println("\nExpected shape (paper): near-linear strong scaling; dual mode ~1.4-1.6x;")
 	fmt.Println("perf kernels ~5-20% over std; best corner (2048, dual, perf) sustains")
 	fmt.Println("hundreds of GFLOPS (paper: 319 GF).")

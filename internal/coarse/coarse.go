@@ -12,8 +12,10 @@ package coarse
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/comm"
+	"repro/internal/instrument"
 	"repro/internal/la"
 )
 
@@ -61,12 +63,28 @@ type XXT struct {
 	crossOf   []int // column -> compact cross index, -1 if local
 	CrossCols []int // cross column ids
 	ownerOf   []int // column -> owning rank (the rank owning dof j)
+
+	// FactorSeconds is the wall-clock time of ordering + factorization +
+	// inverse-factor formation in NewXXT (the setup half of the paper's
+	// solve/factor split).
+	FactorSeconds float64
+
+	solveTime *instrument.Timer // nil = off; accumulated per-rank solve time
+}
+
+// Attach wires the solve timer into reg and records the one-off factor
+// cost as a gauge; a nil registry detaches.
+func (s *XXT) Attach(reg *instrument.Registry) {
+	s.solveTime = reg.Timer("coarse/xxt.solve")
+	reg.Gauge("coarse/xxt.factor_seconds").Set(s.FactorSeconds)
+	reg.Gauge("coarse/xxt.cross_cols").Set(float64(len(s.CrossCols)))
 }
 
 // NewXXT orders the SPD matrix with nested dissection (grid-aware when
 // nx*ny == a.Rows and nx > 0), factorizes it, forms the sparse inverse
 // factor, and partitions the permuted dofs into p contiguous blocks.
 func NewXXT(a *la.CSR, nx, ny, p int) (*XXT, error) {
+	tFactor := time.Now()
 	n := a.Rows
 	var perm []int
 	if nx > 0 && nx*ny == n {
@@ -122,6 +140,7 @@ func NewXXT(a *la.CSR, nx, ny, p int) (*XXT, error) {
 			s.CrossCols = append(s.CrossCols, j)
 		}
 	}
+	s.FactorSeconds = time.Since(tFactor).Seconds()
 	return s, nil
 }
 
@@ -135,6 +154,8 @@ func (s *XXT) CrossCount() int { return len(s.CrossCols) }
 // SolveSerial computes u = A⁻¹ b (natural ordering) through the factor, for
 // reference and testing.
 func (s *XXT) SolveSerial(b []float64) []float64 {
+	t0 := s.solveTime.Begin()
+	defer s.solveTime.End(t0)
 	n := s.N
 	bp := make([]float64, n)
 	inv := la.InvPerm(s.Perm)
@@ -172,6 +193,8 @@ func (s *XXT) SolveSerial(b []float64) []float64 {
 // Local floating-point work is charged to the rank's virtual clock; the
 // combine over the cross columns is a real recursive-doubling allreduce.
 func (s *XXT) SolveOn(r *comm.Rank, bLocal []float64) []float64 {
+	t0 := s.solveTime.Begin()
+	defer s.solveTime.End(t0)
 	me := r.ID
 	lo, hi := s.BlockLo[me], s.BlockHi[me]
 	// Stage 1: z = Xᵀ b. Local columns owned by me are complete from my

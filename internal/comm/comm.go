@@ -11,6 +11,9 @@ package comm
 import (
 	"fmt"
 	"sync"
+	"time"
+
+	"repro/internal/instrument"
 )
 
 // Machine models the network of the target platform.
@@ -34,19 +37,107 @@ type message struct {
 	arrival   float64 // virtual arrival time at the receiver
 }
 
+// mailbox is an unbounded per-rank delivery queue. A bounded channel here
+// deadlocks real communication patterns: a sender blocked on a full inbox
+// whose receiver is itself blocked sending never progresses, and the
+// simulated machine models a network with buffering at the receiver, not a
+// rendezvous. Senders therefore never block; receivers wait on a condition
+// variable.
+type mailbox struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	q    []message
+}
+
+func newMailbox() *mailbox {
+	b := &mailbox{}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *mailbox) put(m message) {
+	b.mu.Lock()
+	b.q = append(b.q, m)
+	b.mu.Unlock()
+	b.cond.Signal()
+}
+
+func (b *mailbox) take() message {
+	b.mu.Lock()
+	for len(b.q) == 0 {
+		b.cond.Wait()
+	}
+	m := b.q[0]
+	b.q = b.q[1:]
+	b.mu.Unlock()
+	return m
+}
+
+// collectiveInstr groups the metrics of one collective kind.
+type collectiveInstr struct {
+	calls *instrument.Counter
+	msgs  *instrument.Counter
+	bytes *instrument.Counter
+	vtime *instrument.Timer // accumulated per-rank virtual time
+}
+
+func (c *collectiveInstr) record(dt float64, msgs, bytes int64) {
+	c.calls.Inc()
+	c.msgs.Add(msgs)
+	c.bytes.Add(bytes)
+	c.vtime.Add(time.Duration(dt * float64(time.Second)))
+}
+
+// netInstr holds the network's metric handles (nil Network.instr = off).
+type netInstr struct {
+	sendMsgs  *instrument.Counter
+	sendBytes *instrument.Counter
+	allreduce collectiveInstr
+	bcast     collectiveInstr
+	gather    collectiveInstr
+	barrier   collectiveInstr
+}
+
 // Network is an instantiated machine: use Run to execute an SPMD function.
 type Network struct {
 	Machine
-	inboxes []chan message
+	inboxes []*mailbox
+	instr   *netInstr
 }
 
 // NewNetwork allocates the communication structure for the machine.
 func NewNetwork(m Machine) *Network {
-	n := &Network{Machine: m, inboxes: make([]chan message, m.P)}
+	n := &Network{Machine: m, inboxes: make([]*mailbox, m.P)}
 	for i := range n.inboxes {
-		n.inboxes[i] = make(chan message, 8*m.P+64)
+		n.inboxes[i] = newMailbox()
 	}
 	return n
+}
+
+// Attach wires per-message and per-collective counters (messages, bytes,
+// summed per-rank virtual time) into reg. Call before Run; the handles are
+// shared by all ranks and recorded atomically.
+func (n *Network) Attach(reg *instrument.Registry) {
+	if reg == nil {
+		n.instr = nil
+		return
+	}
+	col := func(name string) collectiveInstr {
+		return collectiveInstr{
+			calls: reg.Counter("comm/" + name + ".calls"),
+			msgs:  reg.Counter("comm/" + name + ".msgs"),
+			bytes: reg.Counter("comm/" + name + ".bytes"),
+			vtime: reg.Timer("comm/" + name + ".vtime"),
+		}
+	}
+	n.instr = &netInstr{
+		sendMsgs:  reg.Counter("comm/send.msgs"),
+		sendBytes: reg.Counter("comm/send.bytes"),
+		allreduce: col("allreduce"),
+		bcast:     col("bcast"),
+		gather:    col("gather"),
+		barrier:   col("barrier"),
+	}
 }
 
 // Rank is the per-process handle passed to the SPMD body.
@@ -84,7 +175,8 @@ func (n *Network) Run(body func(r *Rank)) []*Rank {
 
 // Send transmits data to rank `to` with the given tag. The sender's clock
 // advances by the full message cost α + β·bytes (single-port model); the
-// message carries its arrival time.
+// message carries its arrival time. Delivery is unbounded: Send never
+// blocks, whatever the receiver's backlog.
 func (r *Rank) Send(to, tag int, data []float64) {
 	if to == r.ID {
 		panic("comm: self-send")
@@ -93,9 +185,13 @@ func (r *Rank) Send(to, tag int, data []float64) {
 	r.Time += r.net.Latency + float64(bytes)*r.net.ByteSec
 	r.BytesSent += int64(bytes)
 	r.MsgsSent++
+	if in := r.net.instr; in != nil {
+		in.sendMsgs.Inc()
+		in.sendBytes.Add(int64(bytes))
+	}
 	cp := make([]float64, len(data))
 	copy(cp, data)
-	r.net.inboxes[to] <- message{from: r.ID, tag: tag, data: cp, arrival: r.Time}
+	r.net.inboxes[to].put(message{from: r.ID, tag: tag, data: cp, arrival: r.Time})
 }
 
 // Recv blocks until a message with the given source and tag arrives and
@@ -112,7 +208,7 @@ func (r *Rank) Recv(from, tag int) []float64 {
 		}
 	}
 	for {
-		m := <-r.net.inboxes[r.ID]
+		m := r.net.inboxes[r.ID].take()
 		if m.from == from && m.tag == tag {
 			if m.arrival > r.Time {
 				r.Time = m.arrival
@@ -176,6 +272,17 @@ func OpMin(dst, src []float64) {
 // data on every rank. Power-of-two rank counts use recursive doubling
 // (log₂P rounds); general counts fall back to a binomial-tree reduce+bcast.
 func (r *Rank) Allreduce(data []float64, op ReduceOp) {
+	in := r.net.instr
+	if in == nil {
+		r.allreduce(data, op)
+		return
+	}
+	t0, m0, b0 := r.Time, r.MsgsSent, r.BytesSent
+	r.allreduce(data, op)
+	in.allreduce.record(r.Time-t0, r.MsgsSent-m0, r.BytesSent-b0)
+}
+
+func (r *Rank) allreduce(data []float64, op ReduceOp) {
 	p := r.net.P
 	if p == 1 {
 		return
@@ -239,6 +346,17 @@ func (r *Rank) bcastTree(data []float64) {
 // Bcast broadcasts root's data to all ranks (binomial tree rooted at 0;
 // non-zero roots relay through 0).
 func (r *Rank) Bcast(data []float64, root int) {
+	in := r.net.instr
+	if in == nil {
+		r.bcast(data, root)
+		return
+	}
+	t0, m0, b0 := r.Time, r.MsgsSent, r.BytesSent
+	r.bcast(data, root)
+	in.bcast.record(r.Time-t0, r.MsgsSent-m0, r.BytesSent-b0)
+}
+
+func (r *Rank) bcast(data []float64, root int) {
 	if r.net.P == 1 {
 		return
 	}
@@ -255,7 +373,14 @@ func (r *Rank) Bcast(data []float64, root int) {
 // Barrier synchronizes all ranks (allreduce of a scalar).
 func (r *Rank) Barrier() {
 	buf := []float64{0}
-	r.Allreduce(buf, OpSum)
+	in := r.net.instr
+	if in == nil {
+		r.allreduce(buf, OpSum)
+		return
+	}
+	t0, m0, b0 := r.Time, r.MsgsSent, r.BytesSent
+	r.allreduce(buf, OpSum)
+	in.barrier.record(r.Time-t0, r.MsgsSent-m0, r.BytesSent-b0)
 }
 
 // AllreduceScalar is a convenience for a single value.
@@ -269,6 +394,17 @@ func (r *Rank) AllreduceScalar(v float64, op ReduceOp) float64 {
 // slices must share one length) and returns the concatenation at root (nil
 // elsewhere). Binomial-tree fan-in.
 func (r *Rank) Gather(data []float64, root int) []float64 {
+	in := r.net.instr
+	if in == nil {
+		return r.gather(data, root)
+	}
+	t0, m0, b0 := r.Time, r.MsgsSent, r.BytesSent
+	out := r.gather(data, root)
+	in.gather.record(r.Time-t0, r.MsgsSent-m0, r.BytesSent-b0)
+	return out
+}
+
+func (r *Rank) gather(data []float64, root int) []float64 {
 	p := r.net.P
 	n := len(data)
 	if p == 1 {

@@ -205,6 +205,34 @@ func TestASCIRedModel(t *testing.T) {
 	}
 }
 
+func TestSendNeverBlocks(t *testing.T) {
+	// Regression: inboxes used to be channels of capacity 8P+64, so a rank
+	// sending more than that before its peer started receiving deadlocked
+	// the whole network. Flood well past the old capacity while the
+	// receiver provably waits for every send to finish first.
+	p := 2
+	flood := 8*p + 64 + 500
+	net := NewNetwork(machine(p))
+	allSent := make(chan struct{})
+	var sum atomic.Int64
+	net.Run(func(r *Rank) {
+		if r.ID == 0 {
+			for i := 0; i < flood; i++ {
+				r.Send(1, i, []float64{float64(i)})
+			}
+			close(allSent)
+			return
+		}
+		<-allSent // only start receiving once the flood is complete
+		for i := 0; i < flood; i++ {
+			sum.Add(int64(r.Recv(0, i)[0]))
+		}
+	})
+	if want := int64(flood) * int64(flood-1) / 2; sum.Load() != want {
+		t.Fatalf("flood sum %d want %d", sum.Load(), want)
+	}
+}
+
 func TestPayloadIsolation(t *testing.T) {
 	// Mutating the sender's buffer after Send must not corrupt the message.
 	net := NewNetwork(machine(2))

@@ -9,6 +9,9 @@ func TestShearLayerFilterStabilizes(t *testing.T) {
 	// Fig. 3 in miniature: at Re=1e5 with marginal resolution the
 	// unfiltered scheme blows up while α=0.3 filtering survives the
 	// roll-up window.
+	if testing.Short() {
+		t.Skip("multi-minute shear-layer run; skipped under -short (race tier)")
+	}
 	run := func(alpha float64, steps int) (blewUp bool, finalKE float64) {
 		s, err := ShearLayer(ShearLayerConfig{
 			Nel: 8, N: 8, Rho: 30, Re: 1e5, Dt: 0.002, Alpha: alpha,

@@ -9,7 +9,13 @@
 // neighbour exchange.
 package gs
 
-import "repro/internal/comm"
+import (
+	"slices"
+	"sync"
+
+	"repro/internal/comm"
+	"repro/internal/instrument"
+)
 
 // Op is the reduction applied to shared nodal values.
 type Op int
@@ -46,17 +52,29 @@ func combine(op Op, a, b float64) float64 {
 type Handle struct {
 	n      int
 	groups [][]int32 // local indices sharing one global id (multiplicity > 1 only)
+
+	multOnce sync.Once
+	mult     []float64 // cached nodal multiplicity
 }
 
 // Init builds a handle from the per-local-node global ids (the
-// "global-node-numbers" argument of the paper's gs-init).
+// "global-node-numbers" argument of the paper's gs-init). Groups are
+// ordered by their smallest local index and indices within a group ascend,
+// so the floating-point assembly order — and therefore every assembled
+// sum — is identical run to run (a map-ordered build would randomize it).
 func Init(gids []int64) *Handle {
-	byGID := make(map[int64][]int32, len(gids))
+	slot := make(map[int64]int, len(gids))
+	groups := make([][]int32, 0, len(gids))
 	for i, g := range gids {
-		byGID[g] = append(byGID[g], int32(i))
+		if j, ok := slot[g]; ok {
+			groups[j] = append(groups[j], int32(i))
+		} else {
+			slot[g] = len(groups)
+			groups = append(groups, []int32{int32(i)})
+		}
 	}
 	h := &Handle{n: len(gids)}
-	for _, idxs := range byGID {
+	for _, idxs := range groups {
 		if len(idxs) > 1 {
 			h.groups = append(h.groups, idxs)
 		}
@@ -98,23 +116,32 @@ func (h *Handle) ApplyFields(op Op, fields ...[]float64) {
 	}
 }
 
+// multiplicity returns the cached per-node copy count, computing it once
+// (sync.Once: DotAssembled sits inside concurrent PCG inner products).
+func (h *Handle) multiplicity() []float64 {
+	h.multOnce.Do(func() {
+		m := make([]float64, h.n)
+		for i := range m {
+			m[i] = 1
+		}
+		h.Apply(m, Sum)
+		h.mult = m
+	})
+	return h.mult
+}
+
 // Multiplicity returns, per local node, the number of local copies sharing
 // its global id (the inverse of this vector converts assembled sums to
-// averages).
+// averages). The caller owns the returned slice.
 func (h *Handle) Multiplicity() []float64 {
-	m := make([]float64, h.n)
-	for i := range m {
-		m[i] = 1
-	}
-	h.Apply(m, Sum)
-	return m
+	return append([]float64(nil), h.multiplicity()...)
 }
 
 // DotAssembled computes the global inner product Σ_g u_g v_g over distinct
 // global nodes, given element-local vectors (each shared node counted
 // once): it divides by multiplicity.
 func (h *Handle) DotAssembled(u, v []float64) float64 {
-	m := h.Multiplicity()
+	m := h.multiplicity()
 	var s float64
 	for i := range u {
 		s += u[i] * v[i] / m[i]
@@ -136,6 +163,11 @@ type ParHandle struct {
 	neighbours []neighbour
 	repIdx     map[int64]int32   // gid -> representative local index
 	allIdx     map[int64][]int32 // gid -> all local indices
+
+	// Exchange-volume instrumentation (nil = off): messages and 8-byte
+	// words sent per Apply.
+	exchMsgs  *instrument.Counter
+	exchWords *instrument.Counter
 }
 
 type neighbour struct {
@@ -166,9 +198,13 @@ func ParInit(r *comm.Rank, gids []int64) *ParHandle {
 		return h
 	}
 	owner := func(g int64) int { return int(g % int64(p)) }
-	// 1. Tell each owner which of its gids we hold.
+	// 1. Tell each owner which of its gids we hold (iterating gids, not the
+	// map, so setup messages are deterministic).
 	toOwner := make([][]float64, p)
-	for g := range h.repIdx {
+	for i, g := range gids {
+		if h.repIdx[g] != int32(i) {
+			continue // not the first occurrence
+		}
 		o := owner(g)
 		toOwner[o] = append(toOwner[o], float64(g))
 	}
@@ -234,24 +270,19 @@ func ParInit(r *comm.Rank, gids []int64) *ParHandle {
 		parse(r.Recv(q, tagSetupFromOwn))
 	}
 	for q, gs := range shared {
-		sortInt64(gs)
+		slices.Sort(gs)
 		h.neighbours = append(h.neighbours, neighbour{rank: q, gids: gs})
 	}
 	// Deterministic neighbour order.
-	for i := 1; i < len(h.neighbours); i++ {
-		for j := i; j > 0 && h.neighbours[j].rank < h.neighbours[j-1].rank; j-- {
-			h.neighbours[j], h.neighbours[j-1] = h.neighbours[j-1], h.neighbours[j]
-		}
-	}
+	slices.SortFunc(h.neighbours, func(a, b neighbour) int { return a.rank - b.rank })
 	return h
 }
 
-func sortInt64(a []int64) {
-	for i := 1; i < len(a); i++ {
-		for j := i; j > 0 && a[j] < a[j-1]; j-- {
-			a[j], a[j-1] = a[j-1], a[j]
-		}
-	}
+// Attach wires exchange-volume counters (messages and words sent per
+// Apply) into reg; a nil registry detaches.
+func (h *ParHandle) Attach(reg *instrument.Registry) {
+	h.exchMsgs = reg.Counter("gs/exchange.msgs")
+	h.exchWords = reg.Counter("gs/exchange.words")
 }
 
 // Apply performs the distributed gather–scatter on the local vector u.
@@ -268,6 +299,8 @@ func (h *ParHandle) Apply(u []float64, op Op) {
 			msg[i] = u[h.repIdx[g]]
 		}
 		h.rank.Send(nb.rank, tagExchange, msg)
+		h.exchMsgs.Inc()
+		h.exchWords.Add(int64(len(msg)))
 	}
 	// Accumulate neighbour contributions on top of the local combined
 	// values (op is commutative/associative, so pairwise folding is exact

@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 
 	"repro/internal/comm"
+	"repro/internal/instrument"
 	"repro/internal/mesh"
 )
 
@@ -111,6 +112,65 @@ func TestApplyIdempotentAfterAssembly(t *testing.T) {
 	}
 }
 
+func TestInitDeterministicAssembly(t *testing.T) {
+	// Shuffled duplicate gids: many shared groups whose float summation
+	// order would differ run to run if Init iterated a map. Two independent
+	// Init+Apply(Sum) passes must produce bitwise-identical vectors.
+	rng := rand.New(rand.NewSource(42))
+	n := 400
+	gids := make([]int64, n)
+	for i := range gids {
+		gids[i] = int64(rng.Intn(n / 6)) // heavy duplication
+	}
+	rng.Shuffle(n, func(i, j int) { gids[i], gids[j] = gids[j], gids[i] })
+	u0 := make([]float64, n)
+	for i := range u0 {
+		// Values chosen so summation order changes the rounded result.
+		u0[i] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(16)-8))
+	}
+	ref := append([]float64(nil), u0...)
+	Init(gids).Apply(ref, Sum)
+	for pass := 0; pass < 10; pass++ {
+		u := append([]float64(nil), u0...)
+		Init(gids).Apply(u, Sum)
+		for i := range u {
+			if u[i] != ref[i] {
+				t.Fatalf("pass %d: assembly not bitwise deterministic at %d: %x vs %x",
+					pass, i, math.Float64bits(u[i]), math.Float64bits(ref[i]))
+			}
+		}
+	}
+}
+
+func TestInitGroupOrderCanonical(t *testing.T) {
+	// Groups must be ordered by smallest local index with ascending indices
+	// inside each group, independent of gid values.
+	h := Init([]int64{9, 5, 9, 7, 5, 9})
+	want := [][]int32{{0, 2, 5}, {1, 4}}
+	if len(h.groups) != len(want) {
+		t.Fatalf("groups %v", h.groups)
+	}
+	for g := range want {
+		if len(h.groups[g]) != len(want[g]) {
+			t.Fatalf("group %d: %v want %v", g, h.groups[g], want[g])
+		}
+		for k := range want[g] {
+			if h.groups[g][k] != want[g][k] {
+				t.Fatalf("group %d: %v want %v", g, h.groups[g], want[g])
+			}
+		}
+	}
+}
+
+func TestMultiplicityCachedAndCopied(t *testing.T) {
+	h := Init([]int64{0, 0, 1})
+	m1 := h.Multiplicity()
+	m1[0] = -100 // caller owns the copy; must not poison the cache
+	if got := h.DotAssembled([]float64{2, 2, 3}, []float64{2, 2, 3}); math.Abs(got-13) > 1e-14 {
+		t.Errorf("DotAssembled after mutated Multiplicity copy = %g, want 13", got)
+	}
+}
+
 func TestDotAssembledCountsGlobalsOnce(t *testing.T) {
 	gids := []int64{0, 0, 1}
 	h := Init(gids)
@@ -207,5 +267,29 @@ func TestParallelMinOp(t *testing.T) {
 		if results[rk][1] != float64(rk) {
 			t.Fatalf("rank %d: private value clobbered", rk)
 		}
+	}
+}
+
+func TestParExchangeCounters(t *testing.T) {
+	// Each rank shares gid 0 with every other rank, so one Apply exchanges
+	// one single-word message per neighbour pair and direction.
+	p := 3
+	net := comm.NewNetwork(comm.Machine{P: p, Latency: 1e-6, ByteSec: 1e-9, FlopSec: 1e-9})
+	reg := instrument.New()
+	net.Run(func(r *comm.Rank) {
+		h := ParInit(r, []int64{0, int64(r.ID + 1)})
+		h.Attach(reg)
+		u := []float64{1, float64(r.ID)}
+		h.Apply(u, Sum)
+		if u[0] != float64(p) {
+			t.Errorf("rank %d: shared sum = %g, want %g", r.ID, u[0], float64(p))
+		}
+	})
+	wantMsgs := int64(p * (p - 1)) // every ordered neighbour pair sends once
+	if got := reg.Counter("gs/exchange.msgs").Value(); got != wantMsgs {
+		t.Errorf("exchange msgs = %d, want %d", got, wantMsgs)
+	}
+	if got := reg.Counter("gs/exchange.words").Value(); got != wantMsgs {
+		t.Errorf("exchange words = %d, want %d (one shared word per message)", got, wantMsgs)
 	}
 }

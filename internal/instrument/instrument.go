@@ -1,0 +1,330 @@
+// Package instrument is the solver-wide metrics layer: named wall-clock
+// timers, monotonic counters, and last/min/max/mean gauges that the hot
+// layers (ns stepping, CG, Schwarz, the XXT coarse solver, the simulated
+// comm network, and the gather–scatter) thread through their phases so a
+// run can report the per-phase breakdowns of the paper's Sec. 7 —
+// compute vs. communication time, iteration counts, projection savings —
+// instead of a single end-to-end wall clock.
+//
+// The default is off and costs (almost) nothing: every handle type
+// no-ops on a nil receiver, so instrumented code holds plain possibly-nil
+// pointers and pays one predictable branch per event when no Registry is
+// attached. Recording methods are safe for concurrent use (the comm ranks
+// are goroutines), backed by atomics on the hot paths.
+package instrument
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Timer accumulates elapsed time and an event count under one name.
+// The zero registry handle (nil *Timer) is a no-op.
+type Timer struct {
+	name  string
+	ns    atomic.Int64
+	count atomic.Int64
+}
+
+// Begin returns the start instant of a timed section. On a nil timer it
+// returns the zero time without reading the clock.
+func (t *Timer) Begin() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// End closes a section opened with Begin, accumulating the elapsed time.
+func (t *Timer) End(start time.Time) {
+	if t == nil {
+		return
+	}
+	t.ns.Add(int64(time.Since(start)))
+	t.count.Add(1)
+}
+
+// Add accumulates an externally-measured duration (one event). This is also
+// how virtual (modeled) clocks are recorded: convert seconds to a Duration.
+func (t *Timer) Add(d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.ns.Add(int64(d))
+	t.count.Add(1)
+}
+
+// Total returns the accumulated time.
+func (t *Timer) Total() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return time.Duration(t.ns.Load())
+}
+
+// Count returns the number of recorded sections.
+func (t *Timer) Count() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.count.Load()
+}
+
+// Counter is a monotonically increasing integer (iterations, messages,
+// words exchanged). Nil receivers no-op.
+type Counter struct {
+	name string
+	v    atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge records a sampled value, keeping last/min/max and the mean over
+// all samples (projection basis size, residual savings). Nil receivers
+// no-op.
+type Gauge struct {
+	name string
+	mu   sync.Mutex
+	last float64
+	min  float64
+	max  float64
+	sum  float64
+	n    int64
+}
+
+// Set records one sample.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	if g.n == 0 || v < g.min {
+		g.min = v
+	}
+	if g.n == 0 || v > g.max {
+		g.max = v
+	}
+	g.last = v
+	g.sum += v
+	g.n++
+	g.mu.Unlock()
+}
+
+// Last returns the most recent sample (0 before any Set).
+func (g *Gauge) Last() float64 {
+	if g == nil {
+		return 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.last
+}
+
+// Mean returns the mean of all samples (0 before any Set).
+func (g *Gauge) Mean() float64 {
+	if g == nil {
+		return 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.n == 0 {
+		return 0
+	}
+	return g.sum / float64(g.n)
+}
+
+// Registry is a collection of named metrics. The nil *Registry is the
+// disabled default: its lookup methods return nil handles, which no-op.
+type Registry struct {
+	mu       sync.Mutex
+	timers   map[string]*Timer
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+}
+
+// New returns an enabled, empty registry.
+func New() *Registry {
+	return &Registry{
+		timers:   make(map[string]*Timer),
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+	}
+}
+
+// Timer returns (creating if needed) the named timer; nil on a nil registry.
+func (r *Registry) Timer(name string) *Timer {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.timers[name]
+	if !ok {
+		t = &Timer{name: name}
+		r.timers[name] = t
+	}
+	return t
+}
+
+// Counter returns (creating if needed) the named counter; nil on a nil
+// registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{name: name}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge; nil on a nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{name: name}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// TimerStat is one timer's snapshot.
+type TimerStat struct {
+	Name    string  `json:"name"`
+	Seconds float64 `json:"seconds"`
+	Count   int64   `json:"count"`
+}
+
+// CounterStat is one counter's snapshot.
+type CounterStat struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// GaugeStat is one gauge's snapshot.
+type GaugeStat struct {
+	Name string  `json:"name"`
+	Last float64 `json:"last"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+	Mean float64 `json:"mean"`
+}
+
+// Report is a structured snapshot of a registry, sorted by name.
+type Report struct {
+	Timers   []TimerStat   `json:"timers"`
+	Counters []CounterStat `json:"counters"`
+	Gauges   []GaugeStat   `json:"gauges"`
+}
+
+// Report snapshots the registry. A nil registry yields an empty report.
+func (r *Registry) Report() Report {
+	var rep Report
+	if r == nil {
+		return rep
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, t := range r.timers {
+		rep.Timers = append(rep.Timers, TimerStat{
+			Name: name, Seconds: t.Total().Seconds(), Count: t.Count(),
+		})
+	}
+	for name, c := range r.counters {
+		rep.Counters = append(rep.Counters, CounterStat{Name: name, Value: c.Value()})
+	}
+	for name, g := range r.gauges {
+		g.mu.Lock()
+		rep.Gauges = append(rep.Gauges, GaugeStat{
+			Name: name, Last: g.last, Min: g.min, Max: g.max,
+			Mean: func() float64 {
+				if g.n == 0 {
+					return 0
+				}
+				return g.sum / float64(g.n)
+			}(),
+		})
+		g.mu.Unlock()
+	}
+	sort.Slice(rep.Timers, func(i, j int) bool { return rep.Timers[i].Name < rep.Timers[j].Name })
+	sort.Slice(rep.Counters, func(i, j int) bool { return rep.Counters[i].Name < rep.Counters[j].Name })
+	sort.Slice(rep.Gauges, func(i, j int) bool { return rep.Gauges[i].Name < rep.Gauges[j].Name })
+	return rep
+}
+
+// String renders the report as an aligned text table. Timer shares are
+// relative to the sum of top-level phase timers (names without '/' beyond
+// the first segment get no special treatment — shares are of total timer
+// time).
+func (rep Report) String() string {
+	var b strings.Builder
+	if len(rep.Timers) > 0 {
+		var total float64
+		for _, t := range rep.Timers {
+			total += t.Seconds
+		}
+		fmt.Fprintf(&b, "%-34s %12s %10s %7s\n", "timer", "seconds", "count", "share")
+		for _, t := range rep.Timers {
+			share := 0.0
+			if total > 0 {
+				share = 100 * t.Seconds / total
+			}
+			fmt.Fprintf(&b, "%-34s %12.4f %10d %6.1f%%\n", t.Name, t.Seconds, t.Count, share)
+		}
+	}
+	if len(rep.Counters) > 0 {
+		if b.Len() > 0 {
+			b.WriteByte('\n')
+		}
+		fmt.Fprintf(&b, "%-34s %12s\n", "counter", "value")
+		for _, c := range rep.Counters {
+			fmt.Fprintf(&b, "%-34s %12d\n", c.Name, c.Value)
+		}
+	}
+	if len(rep.Gauges) > 0 {
+		if b.Len() > 0 {
+			b.WriteByte('\n')
+		}
+		fmt.Fprintf(&b, "%-34s %10s %10s %10s %10s\n", "gauge", "last", "min", "max", "mean")
+		for _, g := range rep.Gauges {
+			fmt.Fprintf(&b, "%-34s %10.4g %10.4g %10.4g %10.4g\n", g.Name, g.Last, g.Min, g.Max, g.Mean)
+		}
+	}
+	return b.String()
+}
+
+// JSON renders the report as indented JSON.
+func (rep Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(rep, "", "  ")
+}

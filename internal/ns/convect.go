@@ -232,7 +232,8 @@ func (s *Solver) scalarSolve(tTil [][]float64, gamma []float64, beta, tNew float
 	}
 	du := make([]float64, s.n)
 	st := solver.CG(func(out, in []float64) { d.Helmholtz(out, in, h1, h2) },
-		d.Dot, du, b, solver.Options{Tol: s.Cfg.VTol, Relative: true, MaxIter: 1000, Precond: jac})
+		d.Dot, du, b, solver.Options{Tol: s.Cfg.VTol, Relative: true, MaxIter: 1000, Precond: jac,
+			Time: s.instr.scalarCG, Iters: s.instr.scalarIters})
 	if !st.Converged && st.FinalRes > 1e-6 {
 		return st.Iterations, fmt.Errorf("ns: scalar Helmholtz solve failed (res %g)", st.FinalRes)
 	}

@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"repro/internal/gs"
+	"repro/internal/instrument"
 	"repro/internal/mesh"
 	"repro/internal/poly"
 	"repro/internal/schwarz"
@@ -125,6 +126,50 @@ type Solver struct {
 	vptCache []float64
 	pvtCache []float64
 	bufPool  [][]float64
+
+	instr stepInstr // per-phase metric handles (zero value = disabled)
+}
+
+// stepInstr holds the metric handles threaded through Step. All handles
+// no-op while nil, so the zero value is the free disabled default.
+type stepInstr struct {
+	convect, viscous, pressure, filter, scalar *instrument.Timer
+	viscousCG, pressureCG, scalarCG            *instrument.Timer
+	viscousIters, pressureIters, scalarIters   *instrument.Counter
+	steps, substeps                            *instrument.Counter
+	cfl                                        *instrument.Gauge
+}
+
+// AttachMetrics wires the stepper's phases (convection subintegration,
+// viscous solves, pressure solve, filter, scalar transport), the CG
+// machinery, the projection accelerator, and the Schwarz preconditioner
+// into reg. Pass nil to detach. Call before stepping; not concurrent-safe
+// with Step.
+func (s *Solver) AttachMetrics(reg *instrument.Registry) {
+	s.instr = stepInstr{
+		convect:       reg.Timer("ns/convect"),
+		viscous:       reg.Timer("ns/viscous"),
+		pressure:      reg.Timer("ns/pressure"),
+		filter:        reg.Timer("ns/filter"),
+		scalar:        reg.Timer("ns/scalar"),
+		viscousCG:     reg.Timer("solver/viscous.cg"),
+		pressureCG:    reg.Timer("solver/pressure.cg"),
+		scalarCG:      reg.Timer("solver/scalar.cg"),
+		viscousIters:  reg.Counter("solver/viscous.iters"),
+		pressureIters: reg.Counter("solver/pressure.iters"),
+		scalarIters:   reg.Counter("solver/scalar.iters"),
+		steps:         reg.Counter("ns/steps"),
+		substeps:      reg.Counter("ns/substeps"),
+		cfl:           reg.Gauge("ns/cfl"),
+	}
+	if s.projector != nil {
+		s.projector.ProjectTime = reg.Timer("solver/projection")
+		s.projector.BasisSize = reg.Gauge("solver/projection.basis")
+		s.projector.Savings = reg.Gauge("solver/projection.savings")
+	}
+	if s.pPre != nil {
+		s.pPre.Attach(reg)
+	}
 }
 
 // New builds a solver from the configuration.

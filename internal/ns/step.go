@@ -34,6 +34,7 @@ func (s *Solver) Step() (StepStats, error) {
 	beta, gamma := bdf(order)
 
 	// --- Convective subintegration (OIFS): ũ^{n-q} for q = 1..order. ---
+	tConv := s.instr.convect.Begin()
 	cflDt, rate := s.cflLimit()
 	st.CFL = rate * cfg.Dt // convective CFL of the full step
 	// Histories: index 0 is u^{n-1} (current U before this step completes).
@@ -60,8 +61,12 @@ func (s *Solver) Step() (StepStats, error) {
 			tTil[q-1] = s.advectScalar(tHist[q-1], float64(q)*cfg.Dt, cflDt, hist)
 		}
 	}
+	s.instr.convect.End(tConv)
+	s.instr.substeps.Add(int64(totalSub))
+	s.instr.cfl.Set(st.CFL)
 
 	// --- Momentum right-hand sides and Helmholtz solves. ---
+	tVisc := s.instr.viscous.Begin()
 	h1 := 1.0 / cfg.Re
 	h2 := beta / cfg.Dt
 	diag := s.D.HelmholtzDiag(h1, h2)
@@ -123,7 +128,8 @@ func (s *Solver) Step() (StepStats, error) {
 		}
 		du := make([]float64, s.n)
 		stats := solver.CG(func(out, in []float64) { s.D.Helmholtz(out, in, h1, h2) },
-			s.D.Dot, du, b, solver.Options{Tol: cfg.VTol, Relative: true, MaxIter: 1000, Precond: jacobi})
+			s.D.Dot, du, b, solver.Options{Tol: cfg.VTol, Relative: true, MaxIter: 1000, Precond: jacobi,
+				Time: s.instr.viscousCG, Iters: s.instr.viscousIters})
 		if !stats.Converged && stats.FinalRes > 1e-6 {
 			return st, fmt.Errorf("ns: Helmholtz solve for component %d failed (res %g)", c, stats.FinalRes)
 		}
@@ -132,8 +138,10 @@ func (s *Solver) Step() (StepStats, error) {
 			u[i] += du[i]
 		}
 	}
+	s.instr.viscous.End(tVisc)
 
 	// --- Pressure correction: E δp = -(β/Δt) D u*. ---
+	tPres := s.instr.pressure.Begin()
 	rp := make([]float64, m.K*s.npp)
 	s.Divergence(rp, ustar)
 	for i := range rp {
@@ -143,7 +151,8 @@ func (s *Solver) Step() (StepStats, error) {
 		s.deflatePressure(rp)
 	}
 	dp := make([]float64, len(rp))
-	popt := solver.Options{Tol: cfg.PTol, MaxIter: cfg.PMaxIter, History: true}
+	popt := solver.Options{Tol: cfg.PTol, MaxIter: cfg.PMaxIter, History: true,
+		Time: s.instr.pressureCG, Iters: s.instr.pressureIters}
 	if s.pPre != nil {
 		popt.Precond = func(out, in []float64) { s.pressurePrecond(out, in) }
 	}
@@ -169,10 +178,13 @@ func (s *Solver) Step() (StepStats, error) {
 			u[i] += scale * g[i] / s.bAssem[i]
 		}
 	}
+	s.instr.pressure.End(tPres)
 
 	// --- Scalar Helmholtz solve. ---
 	if cfg.Scalar != nil {
+		tScal := s.instr.scalar.Begin()
 		iters, err := s.scalarSolve(tTil, gamma, beta, tNew)
+		s.instr.scalar.End(tScal)
 		if err != nil {
 			return st, err
 		}
@@ -180,6 +192,7 @@ func (s *Solver) Step() (StepStats, error) {
 	}
 
 	// --- Filter, rotate history, commit. ---
+	tFilt := s.instr.filter.Begin()
 	for c := 0; c < s.dim; c++ {
 		if s.filter != nil {
 			s.D.ApplyFilter(s.filter, ustar[c])
@@ -189,6 +202,7 @@ func (s *Solver) Step() (StepStats, error) {
 	if s.filter != nil && s.T != nil {
 		s.D.ApplyFilter(s.filter, s.T)
 	}
+	s.instr.filter.End(tFilt)
 	// History rotation keeps up to Order-1 previous velocities.
 	keep := cfg.Order - 1
 	if keep > 0 {
@@ -221,6 +235,7 @@ func (s *Solver) Step() (StepStats, error) {
 	s.step++
 	s.time = tNew
 	st.Time = s.time
+	s.instr.steps.Inc()
 
 	for c := 0; c < s.dim; c++ {
 		for i := 0; i < s.n; i += 97 {

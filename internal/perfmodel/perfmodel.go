@@ -51,9 +51,11 @@ type Run struct {
 	Substeps   []int // OIFS substeps per step
 }
 
-// StepFlops returns the modeled floating point operations of step i, split
-// into matrix-matrix and vector work.
-func (r *Run) StepFlops(i int) (mm, vec float64) {
+// PhaseFlops returns the modeled floating point operations of step i split
+// by solver phase (viscous Helmholtz solves, pressure solve, convective
+// subintegration, filter) — the same partition the instrumented stepper
+// times on reduced runs, so measured shares can sit beside modeled ones.
+func (r *Run) PhaseFlops(i int) (helm, press, conv, filt float64) {
 	n1 := float64(r.N + 1)
 	k := float64(r.K)
 	var n4, n3 float64
@@ -69,15 +71,21 @@ func (r *Run) StepFlops(i int) (mm, vec float64) {
 	dims := float64(r.Dim)
 
 	// Helmholtz: dims components x iters x (stiffness + ~10 n3 vector ops).
-	helm := float64(r.HelmIters[i]) * dims * (stiff*k + 10*n3*k)
+	helm = float64(r.HelmIters[i]) * dims * (stiff*k + 10*n3*k)
 	// Pressure: iters x (E apply ≈ 2 grads + divergence + FDM local solves
 	// + coarse prolongation, ≈ 4 stiffness-equivalents MM + vector ops).
-	press := float64(r.PressIters[i]) * ((2*grad+stiff)*k + stiff*k + 14*n3*k)
+	press = float64(r.PressIters[i]) * ((2*grad+stiff)*k + stiff*k + 14*n3*k)
 	// Convection: substeps x RK4 stages x dims fields x gradient work.
-	conv := float64(r.Substeps[i]) * 4 * dims * (grad*k + 7*n3*k)
+	conv = float64(r.Substeps[i]) * 4 * dims * (grad*k + 7*n3*k)
 	// Filter once per step per field.
-	filt := dims * 2 * dims * n4 * k
+	filt = dims * 2 * dims * n4 * k
+	return helm, press, conv, filt
+}
 
+// StepFlops returns the modeled floating point operations of step i, split
+// into matrix-matrix and vector work.
+func (r *Run) StepFlops(i int) (mm, vec float64) {
+	helm, press, conv, filt := r.PhaseFlops(i)
 	mmShare := 0.92 // the paper: >90% of flops are matrix-matrix products
 	total := helm + press + conv + filt
 	return total * mmShare, total * (1 - mmShare)

@@ -19,6 +19,7 @@ import (
 	"repro/internal/fdm"
 	"repro/internal/fem"
 	"repro/internal/gs"
+	"repro/internal/instrument"
 	"repro/internal/la"
 	"repro/internal/sem"
 )
@@ -65,6 +66,18 @@ type Precond struct {
 	dirichVtx []bool
 
 	work1, work2 []float64
+
+	// Instrumentation (nil = off): local subdomain solves vs. the coarse
+	// component of each Apply.
+	localTime  *instrument.Timer
+	coarseTime *instrument.Timer
+}
+
+// Attach wires the local-solve and coarse-solve timers into reg; a nil
+// registry detaches.
+func (p *Precond) Attach(reg *instrument.Registry) {
+	p.localTime = reg.Timer("schwarz/local")
+	p.coarseTime = reg.Timer("schwarz/coarse")
 }
 
 // New builds the preconditioner for the discretization d.
@@ -422,6 +435,7 @@ func (p *Precond) Apply(out, r []float64) {
 	for i := range out {
 		out[i] = 0
 	}
+	tLoc := p.localTime.Begin()
 	switch p.opt.Method {
 	case FDM:
 		if m.Dim == 2 {
@@ -475,9 +489,12 @@ func (p *Precond) Apply(out, r []float64) {
 		// Sum overlapping element contributions (R_kᵀ of the additive sum).
 		d.GS.Apply(out, gs.Sum)
 	}
+	p.localTime.End(tLoc)
 	if p.opt.UseCoarse {
 		// The coarse term is a continuous field: add it after assembly.
+		tCrs := p.coarseTime.Begin()
 		p.applyCoarse(out, r)
+		p.coarseTime.End(tCrs)
 	}
 	d.ApplyMask(out)
 }

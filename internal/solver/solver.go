@@ -10,6 +10,8 @@ package solver
 
 import (
 	"math"
+
+	"repro/internal/instrument"
 )
 
 // Operator applies a linear operator: out = A·in. out never aliases in.
@@ -35,11 +37,24 @@ type Options struct {
 	MaxIter  int
 	Precond  Operator // nil = identity
 	History  bool     // record ResHist
+
+	// Instrumentation (optional; nil handles no-op): accumulated solve
+	// wall time and iteration count across calls sharing these handles.
+	Time  *instrument.Timer
+	Iters *instrument.Counter
 }
 
 // CG solves A x = b by preconditioned conjugate gradients, starting from
 // the supplied x (commonly zero). Work arrays are allocated internally.
 func CG(apply Operator, dot Dot, x, b []float64, opt Options) Stats {
+	t0 := opt.Time.Begin()
+	st := cg(apply, dot, x, b, opt)
+	opt.Time.End(t0)
+	opt.Iters.Add(int64(st.Iterations))
+	return st
+}
+
+func cg(apply Operator, dot Dot, x, b []float64, opt Options) Stats {
 	n := len(b)
 	r := make([]float64, n)
 	z := make([]float64, n)
@@ -136,6 +151,11 @@ type Projector struct {
 	dot   Dot
 	xs    [][]float64 // A-orthonormal basis
 	axs   [][]float64 // A·basis
+
+	// Instrumentation (optional; nil handles no-op).
+	ProjectTime *instrument.Timer // projection + basis-update overhead
+	BasisSize   *instrument.Gauge // basis dimension used per solve
+	Savings     *instrument.Gauge // fraction of ‖b‖ removed by projection
 }
 
 // NewProjector creates a projector with basis capacity l.
@@ -154,6 +174,7 @@ func (p *Projector) Reset() { p.xs, p.axs = nil, nil }
 // the new solution, and return the total solution and the CG stats.
 func (p *Projector) ProjectAndSolve(x, b []float64, opt Options) Stats {
 	n := len(b)
+	t0 := p.ProjectTime.Begin()
 	alphas := make([]float64, len(p.xs))
 	for k, xk := range p.xs {
 		alphas[k] = p.dot(xk, b)
@@ -169,14 +190,25 @@ func (p *Projector) ProjectAndSolve(x, b []float64, opt Options) Stats {
 			rhs[i] -= a * axk[i]
 		}
 	}
+	p.ProjectTime.End(t0)
+	p.BasisSize.Set(float64(len(p.xs)))
+	if p.Savings != nil {
+		nb := math.Sqrt(p.dot(b, b))
+		nr := math.Sqrt(p.dot(rhs, rhs))
+		if nb > 0 {
+			p.Savings.Set(1 - nr/nb)
+		}
+	}
 	for i := range x {
 		x[i] = 0
 	}
 	st := CG(p.apply, p.dot, x, rhs, opt)
+	t1 := p.ProjectTime.Begin()
 	for i := range x {
 		x[i] += xbar[i]
 	}
 	p.update(x)
+	p.ProjectTime.End(t1)
 	return st
 }
 

@@ -1,0 +1,20 @@
+#!/bin/sh
+# Two-tier local CI.
+#
+#   tier 1: build + full test suite (the repo's acceptance gate)
+#   tier 2: go vet + race detector over the whole module. Long-running
+#           physics cases (multi-minute shear-layer roll-up) skip under
+#           -short; everything with concurrency (comm ranks, gs exchange,
+#           sem worker pools, instrument counters) still runs under -race.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== tier 1: go build ./... && go test ./... =="
+go build ./...
+go test ./...
+
+echo "== tier 2: go vet ./... && go test -race -short ./... =="
+go vet ./...
+go test -race -short ./...
+
+echo "CI OK"
