@@ -54,6 +54,30 @@ func BenchmarkTable1ChannelStepInstrumented(b *testing.B) {
 	}
 }
 
+// BenchmarkTable1ChannelStepTraced adds the full observability stack —
+// metrics registry, tracer, and per-step telemetry — on top of the
+// instrumented run. The delta over BenchmarkTable1ChannelStep bounds the
+// everything-on cost; BenchmarkTable1ChannelStep itself is the baseline
+// guarding the nil-receiver disabled path (tracing off must cost nothing
+// beyond the PR-1 instrumentation bound).
+func BenchmarkTable1ChannelStepTraced(b *testing.B) {
+	s, _, err := flowcases.Channel(flowcases.ChannelConfig{
+		Re: 7500, Alpha: 1, N: 9, Dt: 0.003125, Order: 2,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.AttachMetrics(instrument.New())
+	s.AttachTracer(instrument.NewTracer())
+	s.AttachHistory(instrument.NewTimeSeries())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // ---- Table 2: Schwarz-preconditioned pressure-like solve ----
 
 func benchCylinderSolve(b *testing.B, opt schwarz.Options) {

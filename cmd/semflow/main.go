@@ -2,7 +2,11 @@
 // canonical flow cases (shear layer, TS channel, convection cell, hairpin
 // boundary layer) with configurable resolution, filter, projection and
 // worker settings, printing per-step solver statistics — the same knobs the
-// paper's production code exposes.
+// paper's production code exposes. With -trace it also emits a Chrome
+// trace-event JSON (open in Perfetto or chrome://tracing) combining the
+// wall-clock spans of the stepper with a per-rank virtual-clock timeline of
+// the distributed Schwarz+XXT pressure-style solve on the same mesh; with
+// -history it writes per-step convergence telemetry as JSONL.
 package main
 
 import (
@@ -10,10 +14,13 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/flowcases"
 	"repro/internal/instrument"
 	"repro/internal/ns"
+	"repro/internal/parrun"
 )
 
 func main() {
@@ -27,7 +34,24 @@ func main() {
 	every := flag.Int("report", 10, "report interval")
 	stats := flag.Bool("stats", false, "print the per-phase instrumentation report after the run")
 	statsJSON := flag.Bool("stats-json", false, "like -stats, but emit JSON")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON (Perfetto-loadable) to this file")
+	traceRanks := flag.Int("trace-ranks", 8, "simulated ranks for the traced distributed solve")
+	historyOut := flag.String("history", "", "write per-step convergence telemetry (JSONL) to this file")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	var s *ns.Solver
 	var err error
@@ -61,16 +85,33 @@ func main() {
 		reg = instrument.New()
 		s.AttachMetrics(reg)
 	}
+	var tracer *instrument.Tracer
+	if *traceOut != "" {
+		tracer = instrument.NewTracer()
+		s.AttachTracer(tracer)
+	}
+	var history *instrument.TimeSeries
+	if *historyOut != "" {
+		history = instrument.NewTimeSeries()
+		s.AttachHistory(history)
+	}
 	fmt.Printf("case=%s  K=%d  N=%d  dofs/component=%d  workers=%d\n",
 		*caseName, s.M.K, s.M.N, s.M.K*s.M.Np, *workers)
 	fmt.Printf("%6s %9s %6s %8s %8s %8s %12s\n",
 		"step", "t", "CFL", "p-iters", "h-iters", "basis", "KE")
 	d := s.Disc()
 	d.ResetFlops()
+	nonconverged := 0
 	for i := 1; i <= *steps; i++ {
 		st, err := s.Step()
 		if err != nil {
 			log.Fatalf("step %d: %v", i, err)
+		}
+		if !st.PressureConverged {
+			nonconverged++
+			fmt.Fprintf(os.Stderr,
+				"warning: step %d pressure solve hit the iteration cap (%d iters, res %.3e > tol)\n",
+				i, st.PressureIters, st.PressureResFinal)
 		}
 		if i%*every == 0 {
 			fmt.Printf("%6d %9.4f %6.2f %8d %8d %8d %12.5e\n",
@@ -78,7 +119,51 @@ func main() {
 				st.ProjectionBasis, flowcases.KineticEnergy(s))
 		}
 	}
+	if nonconverged > 0 {
+		fmt.Fprintf(os.Stderr, "warning: %d/%d steps did not converge the pressure solve\n",
+			nonconverged, *steps)
+	}
 	fmt.Printf("\nmetered flops (velocity-grid operators): %.3e\n", float64(d.Flops()))
+
+	if tracer != nil {
+		// The shared-memory stepper gives the wall-clock track; the rank
+		// timeline of Figs. 6/8 comes from running the distributed
+		// Schwarz+XXT-preconditioned solve on the same mesh.
+		res, err := parrun.PoissonSchwarz(s.M, parrun.Config{
+			P: *traceRanks, Registry: reg, Tracer: tracer,
+		})
+		if err != nil {
+			log.Fatalf("traced distributed solve: %v", err)
+		}
+		fmt.Printf("traced distributed solve: P=%d iters=%d res=%.2e virtual=%.3es traffic=%.1fkB/%d msgs\n",
+			res.P, res.Iterations, res.FinalRes, res.VirtualSeconds,
+			float64(res.TotalBytes)/1024, res.TotalMsgs)
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatalf("trace: %v", err)
+		}
+		if err := tracer.WriteJSON(f); err != nil {
+			log.Fatalf("trace: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("trace: %v", err)
+		}
+		fmt.Printf("wrote %d trace events to %s (load in https://ui.perfetto.dev)\n",
+			tracer.Len(), *traceOut)
+	}
+	if history != nil {
+		f, err := os.Create(*historyOut)
+		if err != nil {
+			log.Fatalf("history: %v", err)
+		}
+		if err := history.WriteJSONL(f); err != nil {
+			log.Fatalf("history: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("history: %v", err)
+		}
+		fmt.Printf("wrote %d per-step telemetry records to %s\n", history.Len(), *historyOut)
+	}
 	if reg != nil {
 		rep := reg.Report()
 		if *statsJSON {
@@ -89,6 +174,19 @@ func main() {
 			fmt.Printf("\n%s\n", j)
 		} else {
 			fmt.Printf("\n%s", rep.String())
+		}
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			log.Fatalf("memprofile: %v", err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatalf("memprofile: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("memprofile: %v", err)
 		}
 	}
 }

@@ -1,0 +1,89 @@
+// Command tracecheck validates the artifacts emitted by semflow's -trace
+// and -history flags: the Chrome trace must be structurally sound (required
+// fields, balanced spans, monotone per-track timestamps, matched flow ids,
+// enough rank tracks) and every telemetry line must parse with the
+// per-step keys the analysis scripts rely on. It is the CI gate of
+// scripts/ci.sh's smoke stage; exit status 1 means a malformed artifact.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/instrument"
+)
+
+func main() {
+	tracePath := flag.String("trace", "", "Chrome trace-event JSON to validate")
+	minRanks := flag.Int("min-ranks", 0, "minimum distinct rank tracks required under the machine pid")
+	historyPath := flag.String("history", "", "per-step telemetry JSONL to validate")
+	flag.Parse()
+	if *tracePath == "" && *historyPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-trace file.json -min-ranks N] [-history file.jsonl]")
+		os.Exit(2)
+	}
+	ok := true
+	if *tracePath != "" {
+		data, err := os.ReadFile(*tracePath)
+		if err == nil {
+			err = instrument.ValidateChromeTrace(data, *minRanks)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", *tracePath, err)
+			ok = false
+		} else {
+			fmt.Printf("%s: valid Chrome trace (>= %d rank tracks)\n", *tracePath, *minRanks)
+		}
+	}
+	if *historyPath != "" {
+		if err := checkHistory(*historyPath); err != nil {
+			fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", *historyPath, err)
+			ok = false
+		}
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+// checkHistory verifies every JSONL line parses and carries the per-step
+// keys, including the per-iteration pressure residual history.
+func checkHistory(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	required := []string{"step", "time", "cfl", "pressure_iters",
+		"pressure_converged", "pressure_res_hist", "max_divergence"}
+	lines := 0
+	for sc.Scan() {
+		lines++
+		var rec map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return fmt.Errorf("line %d: %w", lines, err)
+		}
+		for _, key := range required {
+			if _, ok := rec[key]; !ok {
+				return fmt.Errorf("line %d: missing key %q", lines, key)
+			}
+		}
+		hist, ok := rec["pressure_res_hist"].([]any)
+		if !ok || len(hist) == 0 {
+			return fmt.Errorf("line %d: pressure_res_hist empty or not an array", lines)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if lines == 0 {
+		return fmt.Errorf("no telemetry records")
+	}
+	fmt.Printf("%s: %d valid telemetry records\n", path, lines)
+	return nil
+}

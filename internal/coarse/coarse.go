@@ -69,7 +69,8 @@ type XXT struct {
 	// solve/factor split).
 	FactorSeconds float64
 
-	solveTime *instrument.Timer // nil = off; accumulated per-rank solve time
+	solveTime *instrument.Timer  // nil = off; accumulated per-rank solve time
+	tracer    *instrument.Tracer // nil = off; per-solve spans
 }
 
 // Attach wires the solve timer into reg and records the one-off factor
@@ -79,6 +80,10 @@ func (s *XXT) Attach(reg *instrument.Registry) {
 	reg.Gauge("coarse/xxt.factor_seconds").Set(s.FactorSeconds)
 	reg.Gauge("coarse/xxt.cross_cols").Set(float64(len(s.CrossCols)))
 }
+
+// AttachTracer makes every solve emit a span — virtual-clock on the calling
+// rank's track for SolveOn, wall-clock for SolveSerial; nil detaches.
+func (s *XXT) AttachTracer(tr *instrument.Tracer) { s.tracer = tr }
 
 // NewXXT orders the SPD matrix with nested dissection (grid-aware when
 // nx*ny == a.Rows and nx > 0), factorizes it, forms the sparse inverse
@@ -156,6 +161,8 @@ func (s *XXT) CrossCount() int { return len(s.CrossCols) }
 func (s *XXT) SolveSerial(b []float64) []float64 {
 	t0 := s.solveTime.Begin()
 	defer s.solveTime.End(t0)
+	sp := s.tracer.Begin(instrument.PidWall, 0, "coarse/xxt.solve", "coarse")
+	defer sp.End()
 	n := s.N
 	bp := make([]float64, n)
 	inv := la.InvPerm(s.Perm)
@@ -195,6 +202,11 @@ func (s *XXT) SolveSerial(b []float64) []float64 {
 func (s *XXT) SolveOn(r *comm.Rank, bLocal []float64) []float64 {
 	t0 := s.solveTime.Begin()
 	defer s.solveTime.End(t0)
+	v0 := r.Time
+	defer func() {
+		s.tracer.SpanV(r.ID, "coarse/xxt.solve", "coarse", v0, r.Time,
+			map[string]any{"cross_cols": len(s.CrossCols), "n": s.N})
+	}()
 	me := r.ID
 	lo, hi := s.BlockLo[me], s.BlockHi[me]
 	// Stage 1: z = Xᵀ b. Local columns owned by me are complete from my

@@ -35,6 +35,7 @@ type message struct {
 	from, tag int
 	data      []float64
 	arrival   float64 // virtual arrival time at the receiver
+	flow      string  // trace flow id binding send to receive ("" untraced)
 }
 
 // mailbox is an unbounded per-rank delivery queue. A bounded channel here
@@ -103,6 +104,7 @@ type Network struct {
 	Machine
 	inboxes []*mailbox
 	instr   *netInstr
+	tracer  *instrument.Tracer
 }
 
 // NewNetwork allocates the communication structure for the machine.
@@ -140,6 +142,21 @@ func (n *Network) Attach(reg *instrument.Registry) {
 	}
 }
 
+// AttachTracer wires span emission into tr: every collective becomes a
+// complete span on the calling rank's virtual-clock track, and every
+// point-to-point message a send span plus a flow-event arrow to the
+// receiving rank. Call before Run; nil detaches. The per-rank track names
+// are registered on the tracer.
+func (n *Network) AttachTracer(tr *instrument.Tracer) {
+	n.tracer = tr
+	if tr != nil {
+		tr.SetProcessName(instrument.PidMachine, "simulated machine (virtual clock)")
+		for p := 0; p < n.P; p++ {
+			tr.SetThreadName(instrument.PidMachine, p, fmt.Sprintf("rank %d", p))
+		}
+	}
+}
+
 // Rank is the per-process handle passed to the SPMD body.
 type Rank struct {
 	ID  int
@@ -151,6 +168,7 @@ type Rank struct {
 	Flops     int64
 
 	pending []message
+	flowSeq int64 // per-sender flow-id sequence (deterministic, no global state)
 }
 
 type pendingKey struct{ from, tag int }
@@ -182,6 +200,7 @@ func (r *Rank) Send(to, tag int, data []float64) {
 		panic("comm: self-send")
 	}
 	bytes := 8 * len(data)
+	t0 := r.Time
 	r.Time += r.net.Latency + float64(bytes)*r.net.ByteSec
 	r.BytesSent += int64(bytes)
 	r.MsgsSent++
@@ -189,9 +208,17 @@ func (r *Rank) Send(to, tag int, data []float64) {
 		in.sendMsgs.Inc()
 		in.sendBytes.Add(int64(bytes))
 	}
+	var flow string
+	if tr := r.net.tracer; tr != nil {
+		r.flowSeq++
+		flow = fmt.Sprintf("%d.%d", r.ID, r.flowSeq)
+		tr.SpanV(r.ID, "send", "comm", t0, r.Time,
+			map[string]any{"to": to, "tag": tag, "bytes": bytes})
+		tr.FlowV("s", r.ID, "msg", r.Time, flow)
+	}
 	cp := make([]float64, len(data))
 	copy(cp, data)
-	r.net.inboxes[to].put(message{from: r.ID, tag: tag, data: cp, arrival: r.Time})
+	r.net.inboxes[to].put(message{from: r.ID, tag: tag, data: cp, arrival: r.Time, flow: flow})
 }
 
 // Recv blocks until a message with the given source and tag arrives and
@@ -201,22 +228,30 @@ func (r *Rank) Recv(from, tag int) []float64 {
 	for i, m := range r.pending {
 		if m.from == from && m.tag == tag {
 			r.pending = append(r.pending[:i], r.pending[i+1:]...)
-			if m.arrival > r.Time {
-				r.Time = m.arrival
-			}
-			return m.data
+			return r.deliver(m)
 		}
 	}
 	for {
 		m := r.net.inboxes[r.ID].take()
 		if m.from == from && m.tag == tag {
-			if m.arrival > r.Time {
-				r.Time = m.arrival
-			}
-			return m.data
+			return r.deliver(m)
 		}
 		r.pending = append(r.pending, m)
 	}
+}
+
+// deliver advances the receiver's clock to the message arrival time and
+// closes the trace flow arrow opened by the matching Send.
+func (r *Rank) deliver(m message) []float64 {
+	if m.arrival > r.Time {
+		r.Time = m.arrival
+	}
+	if tr := r.net.tracer; tr != nil && m.flow != "" {
+		tr.FlowV("f", r.ID, "msg", r.Time, m.flow)
+		tr.InstantV(r.ID, "recv", "comm", r.Time,
+			map[string]any{"from": m.from, "tag": m.tag, "bytes": 8 * len(m.data)})
+	}
+	return m.data
 }
 
 // Compute advances the virtual clock by the modeled time of nflops local
@@ -272,14 +307,20 @@ func OpMin(dst, src []float64) {
 // data on every rank. Power-of-two rank counts use recursive doubling
 // (log₂P rounds); general counts fall back to a binomial-tree reduce+bcast.
 func (r *Rank) Allreduce(data []float64, op ReduceOp) {
-	in := r.net.instr
-	if in == nil {
+	in, tr := r.net.instr, r.net.tracer
+	if in == nil && tr == nil {
 		r.allreduce(data, op)
 		return
 	}
 	t0, m0, b0 := r.Time, r.MsgsSent, r.BytesSent
 	r.allreduce(data, op)
-	in.allreduce.record(r.Time-t0, r.MsgsSent-m0, r.BytesSent-b0)
+	if in != nil {
+		in.allreduce.record(r.Time-t0, r.MsgsSent-m0, r.BytesSent-b0)
+	}
+	if tr != nil {
+		tr.SpanV(r.ID, "allreduce", "comm", t0, r.Time,
+			map[string]any{"words": len(data), "msgs": r.MsgsSent - m0, "bytes": r.BytesSent - b0})
+	}
 }
 
 func (r *Rank) allreduce(data []float64, op ReduceOp) {
@@ -346,14 +387,20 @@ func (r *Rank) bcastTree(data []float64) {
 // Bcast broadcasts root's data to all ranks (binomial tree rooted at 0;
 // non-zero roots relay through 0).
 func (r *Rank) Bcast(data []float64, root int) {
-	in := r.net.instr
-	if in == nil {
+	in, tr := r.net.instr, r.net.tracer
+	if in == nil && tr == nil {
 		r.bcast(data, root)
 		return
 	}
 	t0, m0, b0 := r.Time, r.MsgsSent, r.BytesSent
 	r.bcast(data, root)
-	in.bcast.record(r.Time-t0, r.MsgsSent-m0, r.BytesSent-b0)
+	if in != nil {
+		in.bcast.record(r.Time-t0, r.MsgsSent-m0, r.BytesSent-b0)
+	}
+	if tr != nil {
+		tr.SpanV(r.ID, "bcast", "comm", t0, r.Time,
+			map[string]any{"words": len(data), "root": root, "msgs": r.MsgsSent - m0, "bytes": r.BytesSent - b0})
+	}
 }
 
 func (r *Rank) bcast(data []float64, root int) {
@@ -373,14 +420,20 @@ func (r *Rank) bcast(data []float64, root int) {
 // Barrier synchronizes all ranks (allreduce of a scalar).
 func (r *Rank) Barrier() {
 	buf := []float64{0}
-	in := r.net.instr
-	if in == nil {
+	in, tr := r.net.instr, r.net.tracer
+	if in == nil && tr == nil {
 		r.allreduce(buf, OpSum)
 		return
 	}
 	t0, m0, b0 := r.Time, r.MsgsSent, r.BytesSent
 	r.allreduce(buf, OpSum)
-	in.barrier.record(r.Time-t0, r.MsgsSent-m0, r.BytesSent-b0)
+	if in != nil {
+		in.barrier.record(r.Time-t0, r.MsgsSent-m0, r.BytesSent-b0)
+	}
+	if tr != nil {
+		tr.SpanV(r.ID, "barrier", "comm", t0, r.Time,
+			map[string]any{"msgs": r.MsgsSent - m0, "bytes": r.BytesSent - b0})
+	}
 }
 
 // AllreduceScalar is a convenience for a single value.
@@ -394,13 +447,19 @@ func (r *Rank) AllreduceScalar(v float64, op ReduceOp) float64 {
 // slices must share one length) and returns the concatenation at root (nil
 // elsewhere). Binomial-tree fan-in.
 func (r *Rank) Gather(data []float64, root int) []float64 {
-	in := r.net.instr
-	if in == nil {
+	in, tr := r.net.instr, r.net.tracer
+	if in == nil && tr == nil {
 		return r.gather(data, root)
 	}
 	t0, m0, b0 := r.Time, r.MsgsSent, r.BytesSent
 	out := r.gather(data, root)
-	in.gather.record(r.Time-t0, r.MsgsSent-m0, r.BytesSent-b0)
+	if in != nil {
+		in.gather.record(r.Time-t0, r.MsgsSent-m0, r.BytesSent-b0)
+	}
+	if tr != nil {
+		tr.SpanV(r.ID, "gather", "comm", t0, r.Time,
+			map[string]any{"words": len(data), "root": root, "msgs": r.MsgsSent - m0, "bytes": r.BytesSent - b0})
+	}
 	return out
 }
 

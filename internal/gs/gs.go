@@ -168,6 +168,7 @@ type ParHandle struct {
 	// words sent per Apply.
 	exchMsgs  *instrument.Counter
 	exchWords *instrument.Counter
+	tracer    *instrument.Tracer
 }
 
 type neighbour struct {
@@ -285,6 +286,10 @@ func (h *ParHandle) Attach(reg *instrument.Registry) {
 	h.exchWords = reg.Counter("gs/exchange.words")
 }
 
+// AttachTracer makes every Apply emit a virtual-clock span on the owning
+// rank's track covering the neighbour exchange; nil detaches.
+func (h *ParHandle) AttachTracer(tr *instrument.Tracer) { h.tracer = tr }
+
 // Apply performs the distributed gather–scatter on the local vector u.
 func (h *ParHandle) Apply(u []float64, op Op) {
 	// Local combine first.
@@ -292,6 +297,8 @@ func (h *ParHandle) Apply(u []float64, op Op) {
 	if len(h.neighbours) == 0 {
 		return
 	}
+	t0 := h.rank.Time
+	var words int
 	// Pairwise exchange: send my combined value for each shared gid.
 	for _, nb := range h.neighbours {
 		msg := make([]float64, len(nb.gids))
@@ -301,6 +308,7 @@ func (h *ParHandle) Apply(u []float64, op Op) {
 		h.rank.Send(nb.rank, tagExchange, msg)
 		h.exchMsgs.Inc()
 		h.exchWords.Add(int64(len(msg)))
+		words += len(msg)
 	}
 	// Accumulate neighbour contributions on top of the local combined
 	// values (op is commutative/associative, so pairwise folding is exact
@@ -321,6 +329,8 @@ func (h *ParHandle) Apply(u []float64, op Op) {
 			u[i] = v
 		}
 	}
+	h.tracer.SpanV(h.rank.ID, "gs/exchange", "gs", t0, h.rank.Time,
+		map[string]any{"neighbours": len(h.neighbours), "words": words})
 }
 
 // Local returns the serial handle for rank-local operations.

@@ -1,0 +1,156 @@
+package instrument
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestNilTracerNoOp: the nil *Tracer must absorb every call, matching the
+// Timer/Counter/Gauge contract.
+func TestNilTracerNoOp(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Begin(PidWall, 0, "x", "c")
+	sp.End()
+	sp.EndWith(map[string]any{"k": 1})
+	tr.SpanV(0, "x", "c", 0, 1, nil)
+	tr.InstantV(0, "x", "c", 0, nil)
+	tr.FlowV("s", 0, "x", 0, "id")
+	tr.SetProcessName(0, "p")
+	tr.SetThreadName(0, 0, "t")
+	tr.DisableWallClock()
+	if tr.Len() != 0 || tr.Events() != nil {
+		t.Fatal("nil tracer recorded events")
+	}
+	if err := tr.WriteJSON(&bytes.Buffer{}); err == nil {
+		t.Fatal("WriteJSON on nil tracer should error")
+	}
+}
+
+// TestTracerGoldenShape builds a trace by hand — nested wall spans, virtual
+// spans on two rank tracks, a flow pair — and checks the serialized JSON
+// validates and has the golden structure.
+func TestTracerGoldenShape(t *testing.T) {
+	tr := NewTracer()
+	tr.DisableWallClock()
+	tr.SetProcessName(PidWall, "wall")
+	tr.SetProcessName(PidMachine, "machine")
+	tr.SetThreadName(PidMachine, 0, "rank 0")
+	tr.SetThreadName(PidMachine, 1, "rank 1")
+
+	outer := tr.Begin(PidWall, 0, "step", "ns")
+	inner := tr.Begin(PidWall, 0, "cg", "solver")
+	inner.EndWith(map[string]any{"iterations": 3})
+	outer.End()
+
+	// Rank 0: enclosing collective emitted after its nested send (emission
+	// order inverted vs time order, as the real producers do).
+	tr.SpanV(0, "send", "comm", 1e-6, 2e-6, nil)
+	tr.FlowV("s", 0, "msg", 2e-6, "0.1")
+	tr.SpanV(0, "allreduce", "comm", 1e-6, 5e-6, nil)
+	tr.FlowV("f", 1, "msg", 3e-6, "0.1")
+	tr.InstantV(1, "recv", "comm", 3e-6, nil)
+	tr.SpanV(1, "allreduce", "comm", 0, 5e-6, nil)
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateChromeTrace(buf.Bytes(), 2); err != nil {
+		t.Fatal(err)
+	}
+	// Serialized order per track must be time-sorted with enclosing X spans
+	// first despite later emission.
+	evs := tr.Events()
+	var rank0 []TraceEvent
+	for _, ev := range evs {
+		if ev.Pid == PidMachine && ev.Tid == 0 {
+			rank0 = append(rank0, ev)
+		}
+	}
+	if len(rank0) != 3 {
+		t.Fatalf("rank 0 track has %d events, want 3", len(rank0))
+	}
+	if rank0[0].Name != "allreduce" || rank0[1].Name != "send" {
+		t.Fatalf("enclosing allreduce must sort before nested send, got %q then %q",
+			rank0[0].Name, rank0[1].Name)
+	}
+	// displayTimeUnit and top-level shape.
+	var top map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &top); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := top["traceEvents"]; !ok {
+		t.Fatal("missing traceEvents")
+	}
+}
+
+// TestValidateChromeTraceRejects: the validator must catch the failure
+// modes it exists for.
+func TestValidateChromeTraceRejects(t *testing.T) {
+	cases := []struct {
+		name, trace, wantErr string
+	}{
+		{"missing ts", `{"traceEvents":[{"ph":"i","pid":0,"tid":0}]}`, "missing required field"},
+		{"unbalanced B", `{"traceEvents":[{"ph":"B","ts":0,"pid":0,"tid":0,"name":"a"}]}`, "unclosed"},
+		{"E without B", `{"traceEvents":[{"ph":"E","ts":0,"pid":0,"tid":0,"name":"a"}]}`, "no open B"},
+		{"mismatched E", `{"traceEvents":[{"ph":"B","ts":0,"pid":0,"tid":0,"name":"a"},{"ph":"E","ts":1,"pid":0,"tid":0,"name":"b"}]}`, "closes"},
+		{"time reversal", `{"traceEvents":[{"ph":"i","ts":5,"pid":1,"tid":0},{"ph":"i","ts":1,"pid":1,"tid":0}]}`, "decreases"},
+		{"negative dur", `{"traceEvents":[{"ph":"X","ts":0,"dur":-1,"pid":1,"tid":0,"name":"a"}]}`, "negative dur"},
+		{"orphan flow", `{"traceEvents":[{"ph":"f","ts":0,"pid":1,"tid":0,"id":"7"}]}`, "without matching start"},
+		{"not json", `[]`, "not a JSON object"},
+	}
+	for _, c := range cases {
+		err := ValidateChromeTrace([]byte(c.trace), 0)
+		if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("%s: got %v, want error containing %q", c.name, err, c.wantErr)
+		}
+	}
+	// Rank-count floor.
+	ok := `{"traceEvents":[{"ph":"i","ts":0,"pid":1,"tid":0}]}`
+	if err := ValidateChromeTrace([]byte(ok), 2); err == nil {
+		t.Error("want error for too few rank tracks")
+	}
+	if err := ValidateChromeTrace([]byte(ok), 1); err != nil {
+		t.Errorf("valid single-rank trace rejected: %v", err)
+	}
+}
+
+// TestTimeSeriesJSONL: records serialize one per line; the nil collector
+// no-ops.
+func TestTimeSeriesJSONL(t *testing.T) {
+	var nilTS *TimeSeries
+	nilTS.Append(1)
+	if nilTS.Len() != 0 || nilTS.Records() != nil {
+		t.Fatal("nil TimeSeries recorded")
+	}
+	if err := nilTS.WriteJSONL(&bytes.Buffer{}); err == nil {
+		t.Fatal("WriteJSONL on nil TimeSeries should error")
+	}
+
+	ts := NewTimeSeries()
+	type rec struct {
+		Step int     `json:"step"`
+		Res  float64 `json:"res"`
+	}
+	ts.Append(rec{1, 0.5})
+	ts.Append(rec{2, 0.25})
+	var buf bytes.Buffer
+	if err := ts.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("%d lines, want 2", len(lines))
+	}
+	for i, ln := range lines {
+		var got rec
+		if err := json.Unmarshal([]byte(ln), &got); err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+		if got.Step != i+1 {
+			t.Fatalf("line %d: step %d", i, got.Step)
+		}
+	}
+}

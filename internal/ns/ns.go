@@ -72,15 +72,38 @@ type Config struct {
 
 // StepStats reports one time step.
 type StepStats struct {
-	Step            int
-	Time            float64
-	PressureIters   int
-	PressureRes0    float64 // residual before CG (after projection)
-	HelmholtzIters  [3]int
-	ScalarIters     int
-	Substeps        int
-	CFL             float64
-	ProjectionBasis int
+	Step              int
+	Time              float64
+	PressureIters     int
+	PressureRes0      float64 // residual before CG (after projection)
+	PressureResFinal  float64
+	PressureConverged bool // pressure CG hit its tolerance (not the iteration cap)
+	ViscousConverged  bool // all Helmholtz component solves converged
+	HelmholtzIters    [3]int
+	ScalarIters       int
+	Substeps          int
+	CFL               float64
+	ProjectionBasis   int
+}
+
+// StepRecord is the per-step telemetry row appended to an attached
+// TimeSeries and serialized as JSONL (one record per line).
+type StepRecord struct {
+	Step              int       `json:"step"`
+	Time              float64   `json:"time"`
+	CFL               float64   `json:"cfl"`
+	Substeps          int       `json:"substeps"`
+	PressureIters     int       `json:"pressure_iters"`
+	PressureConverged bool      `json:"pressure_converged"`
+	PressureRes0      float64   `json:"pressure_res0"`
+	PressureResFinal  float64   `json:"pressure_res_final"`
+	PressureResHist   []float64 `json:"pressure_res_hist"`
+	HelmholtzIters    [3]int    `json:"helmholtz_iters"`
+	ViscousConverged  bool      `json:"viscous_converged"`
+	ScalarIters       int       `json:"scalar_iters,omitempty"`
+	ProjectionBasis   int       `json:"projection_basis"`
+	MaxDivergence     float64   `json:"max_divergence"`
+	FilterEnergy      float64   `json:"filter_energy_removed"`
 }
 
 // Solver holds the time-stepping state.
@@ -127,7 +150,9 @@ type Solver struct {
 	pvtCache []float64
 	bufPool  [][]float64
 
-	instr stepInstr // per-phase metric handles (zero value = disabled)
+	instr   stepInstr              // per-phase metric handles (zero value = disabled)
+	tracer  *instrument.Tracer     // nil = off; wall spans for step phases + CG
+	history *instrument.TimeSeries // nil = off; per-step StepRecord rows
 }
 
 // stepInstr holds the metric handles threaded through Step. All handles
@@ -138,6 +163,8 @@ type stepInstr struct {
 	viscousIters, pressureIters, scalarIters   *instrument.Counter
 	steps, substeps                            *instrument.Counter
 	cfl                                        *instrument.Gauge
+	pressConv                                  *instrument.Gauge   // last pressure solve converged (1/0)
+	nonconv                                    *instrument.Counter // steps whose pressure solve hit the cap
 }
 
 // AttachMetrics wires the stepper's phases (convection subintegration,
@@ -161,6 +188,8 @@ func (s *Solver) AttachMetrics(reg *instrument.Registry) {
 		steps:         reg.Counter("ns/steps"),
 		substeps:      reg.Counter("ns/substeps"),
 		cfl:           reg.Gauge("ns/cfl"),
+		pressConv:     reg.Gauge("solver/pressure.converged"),
+		nonconv:       reg.Counter("ns/nonconverged.steps"),
 	}
 	if s.projector != nil {
 		s.projector.ProjectTime = reg.Timer("solver/projection")
@@ -171,6 +200,24 @@ func (s *Solver) AttachMetrics(reg *instrument.Registry) {
 		s.pPre.Attach(reg)
 	}
 }
+
+// AttachTracer wires wall-clock span emission (step phases, CG solves, the
+// Schwarz preconditioner sections) into tr; nil detaches. Call before
+// stepping; not concurrent-safe with Step.
+func (s *Solver) AttachTracer(tr *instrument.Tracer) {
+	s.tracer = tr
+	if s.pPre != nil {
+		s.pPre.AttachTracer(tr)
+	}
+	if tr != nil {
+		tr.SetProcessName(instrument.PidWall, "solver process (wall clock)")
+		tr.SetThreadName(instrument.PidWall, 0, "main")
+	}
+}
+
+// AttachHistory makes every Step append a StepRecord (including the
+// per-iteration pressure residual history) to h; nil detaches.
+func (s *Solver) AttachHistory(h *instrument.TimeSeries) { s.history = h }
 
 // New builds a solver from the configuration.
 func New(cfg Config) (*Solver, error) {

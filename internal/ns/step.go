@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/instrument"
 	"repro/internal/solver"
 )
 
@@ -25,6 +26,8 @@ func (s *Solver) Step() (StepStats, error) {
 	cfg := s.Cfg
 	st := StepStats{Step: s.step + 1}
 	tNew := s.time + cfg.Dt
+	spStep := s.tracer.Begin(instrument.PidWall, 0, "ns/step", "ns")
+	defer spStep.End()
 
 	// Effective order ramps up over the first steps.
 	order := cfg.Order
@@ -35,6 +38,7 @@ func (s *Solver) Step() (StepStats, error) {
 
 	// --- Convective subintegration (OIFS): ũ^{n-q} for q = 1..order. ---
 	tConv := s.instr.convect.Begin()
+	spConv := s.tracer.Begin(instrument.PidWall, 0, "ns/convect", "ns")
 	cflDt, rate := s.cflLimit()
 	st.CFL = rate * cfg.Dt // convective CFL of the full step
 	// Histories: index 0 is u^{n-1} (current U before this step completes).
@@ -62,11 +66,14 @@ func (s *Solver) Step() (StepStats, error) {
 		}
 	}
 	s.instr.convect.End(tConv)
+	spConv.EndWith(map[string]any{"substeps": totalSub})
 	s.instr.substeps.Add(int64(totalSub))
 	s.instr.cfl.Set(st.CFL)
 
 	// --- Momentum right-hand sides and Helmholtz solves. ---
 	tVisc := s.instr.viscous.Begin()
+	spVisc := s.tracer.Begin(instrument.PidWall, 0, "ns/viscous", "ns")
+	st.ViscousConverged = true
 	h1 := 1.0 / cfg.Re
 	h2 := beta / cfg.Dt
 	diag := s.D.HelmholtzDiag(h1, h2)
@@ -129,8 +136,13 @@ func (s *Solver) Step() (StepStats, error) {
 		du := make([]float64, s.n)
 		stats := solver.CG(func(out, in []float64) { s.D.Helmholtz(out, in, h1, h2) },
 			s.D.Dot, du, b, solver.Options{Tol: cfg.VTol, Relative: true, MaxIter: 1000, Precond: jacobi,
-				Time: s.instr.viscousCG, Iters: s.instr.viscousIters})
+				Time: s.instr.viscousCG, Iters: s.instr.viscousIters,
+				Tracer: s.tracer, TraceName: "helmholtz.cg"})
+		if !stats.Converged {
+			st.ViscousConverged = false
+		}
 		if !stats.Converged && stats.FinalRes > 1e-6 {
+			spVisc.End()
 			return st, fmt.Errorf("ns: Helmholtz solve for component %d failed (res %g)", c, stats.FinalRes)
 		}
 		st.HelmholtzIters[c] = stats.Iterations
@@ -139,9 +151,11 @@ func (s *Solver) Step() (StepStats, error) {
 		}
 	}
 	s.instr.viscous.End(tVisc)
+	spVisc.End()
 
 	// --- Pressure correction: E δp = -(β/Δt) D u*. ---
 	tPres := s.instr.pressure.Begin()
+	spPres := s.tracer.Begin(instrument.PidWall, 0, "ns/pressure", "ns")
 	rp := make([]float64, m.K*s.npp)
 	s.Divergence(rp, ustar)
 	for i := range rp {
@@ -152,7 +166,8 @@ func (s *Solver) Step() (StepStats, error) {
 	}
 	dp := make([]float64, len(rp))
 	popt := solver.Options{Tol: cfg.PTol, MaxIter: cfg.PMaxIter, History: true,
-		Time: s.instr.pressureCG, Iters: s.instr.pressureIters}
+		Time: s.instr.pressureCG, Iters: s.instr.pressureIters,
+		Tracer: s.tracer, TraceName: "pressure.cg", Converged: s.instr.pressConv}
 	if s.pPre != nil {
 		popt.Precond = func(out, in []float64) { s.pressurePrecond(out, in) }
 	}
@@ -165,6 +180,11 @@ func (s *Solver) Step() (StepStats, error) {
 	}
 	st.PressureIters = pstats.Iterations
 	st.PressureRes0 = pstats.InitialRes
+	st.PressureResFinal = pstats.FinalRes
+	st.PressureConverged = pstats.Converged
+	if !pstats.Converged {
+		s.instr.nonconv.Inc()
+	}
 
 	// --- Velocity update: u^n = u* + (Δt/β) M B̃⁻¹ QQᵀ Dᵀ δp. ---
 	gdp := [][]float64{s.scr[3], s.scr[4], s.scr[5]}
@@ -179,12 +199,15 @@ func (s *Solver) Step() (StepStats, error) {
 		}
 	}
 	s.instr.pressure.End(tPres)
+	spPres.EndWith(map[string]any{"iterations": pstats.Iterations, "converged": pstats.Converged})
 
 	// --- Scalar Helmholtz solve. ---
 	if cfg.Scalar != nil {
 		tScal := s.instr.scalar.Begin()
+		spScal := s.tracer.Begin(instrument.PidWall, 0, "ns/scalar", "ns")
 		iters, err := s.scalarSolve(tTil, gamma, beta, tNew)
 		s.instr.scalar.End(tScal)
+		spScal.End()
 		if err != nil {
 			return st, err
 		}
@@ -193,16 +216,29 @@ func (s *Solver) Step() (StepStats, error) {
 
 	// --- Filter, rotate history, commit. ---
 	tFilt := s.instr.filter.Begin()
+	spFilt := s.tracer.Begin(instrument.PidWall, 0, "ns/filter", "ns")
+	var filterRemoved float64
+	if s.history != nil && s.filter != nil {
+		for c := 0; c < s.dim; c++ {
+			filterRemoved += s.D.Dot(ustar[c], ustar[c])
+		}
+	}
 	for c := 0; c < s.dim; c++ {
 		if s.filter != nil {
 			s.D.ApplyFilter(s.filter, ustar[c])
 			s.setDirichletComponent(ustar[c], c, tNew)
 		}
 	}
+	if s.history != nil && s.filter != nil {
+		for c := 0; c < s.dim; c++ {
+			filterRemoved -= s.D.Dot(ustar[c], ustar[c])
+		}
+	}
 	if s.filter != nil && s.T != nil {
 		s.D.ApplyFilter(s.filter, s.T)
 	}
 	s.instr.filter.End(tFilt)
+	spFilt.End()
 	// History rotation keeps up to Order-1 previous velocities.
 	keep := cfg.Order - 1
 	if keep > 0 {
@@ -243,6 +279,33 @@ func (s *Solver) Step() (StepStats, error) {
 				return st, fmt.Errorf("ns: solution diverged (NaN) at step %d", s.step)
 			}
 		}
+	}
+	if s.history != nil {
+		div := make([]float64, m.K*s.npp)
+		s.Divergence(div, s.U)
+		var maxDiv float64
+		for _, v := range div {
+			if a := math.Abs(v); a > maxDiv {
+				maxDiv = a
+			}
+		}
+		s.history.Append(StepRecord{
+			Step:              st.Step,
+			Time:              st.Time,
+			CFL:               st.CFL,
+			Substeps:          st.Substeps,
+			PressureIters:     st.PressureIters,
+			PressureConverged: st.PressureConverged,
+			PressureRes0:      st.PressureRes0,
+			PressureResFinal:  st.PressureResFinal,
+			PressureResHist:   append([]float64(nil), pstats.ResHist...),
+			HelmholtzIters:    st.HelmholtzIters,
+			ViscousConverged:  st.ViscousConverged,
+			ScalarIters:       st.ScalarIters,
+			ProjectionBasis:   st.ProjectionBasis,
+			MaxDivergence:     maxDiv,
+			FilterEnergy:      filterRemoved,
+		})
 	}
 	return st, nil
 }

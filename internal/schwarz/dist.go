@@ -1,0 +1,127 @@
+package schwarz
+
+// dist.go exposes element-subset pieces of the additive Schwarz
+// preconditioner for SPMD execution on the simulated machine (see
+// internal/parrun): a rank holding a subset of elements performs its FDM
+// local solves on rank-local storage with caller-owned scratch (the shared
+// p.work1/p.work2 buffers of the serial path are not safe under concurrent
+// ranks), and the coarse term is split into restrict / solve / prolong so
+// the vertex solve can be routed through the distributed XXT solver.
+
+import (
+	"fmt"
+
+	"repro/internal/la"
+)
+
+// LocalWork is per-caller scratch for LocalSolveElems, so concurrent ranks
+// never share buffers.
+type LocalWork struct {
+	w1, w2 []float64
+}
+
+// NewLocalWork allocates scratch sized for p's elements.
+func (p *Precond) NewLocalWork() *LocalWork {
+	m := p.d.M
+	nw := 2 * m.Np
+	if m.Dim == 3 {
+		nw = 4 * m.Np
+	}
+	return &LocalWork{w1: make([]float64, nw), w2: make([]float64, m.Np)}
+}
+
+// LocalSolveElems applies the FDM local solves of the listed (global)
+// elements to the rank-local residual r, writing out (both of length
+// len(elems)*Np, element blocks in elems order). It returns the flop count
+// of the solves; the caller charges it to its rank's virtual clock. FDM
+// only: the FEM path needs global overlap and has no distributed form here.
+func (p *Precond) LocalSolveElems(out, r []float64, elems []int, w *LocalWork) (int64, error) {
+	if p.opt.Method != FDM {
+		return 0, fmt.Errorf("schwarz: LocalSolveElems requires the FDM method")
+	}
+	m := p.d.M
+	var flops int64
+	for li, e := range elems {
+		blk := r[li*m.Np : (li+1)*m.Np]
+		if m.Dim == 2 {
+			p.fdm2[e].Apply(w.w2, blk, w.w1)
+			flops += p.fdm2[e].Flops()
+		} else {
+			if len(w.w1) < p.fdm3[e].WorkLen3D() {
+				w.w1 = make([]float64, p.fdm3[e].WorkLen3D())
+			}
+			p.fdm3[e].Apply(w.w2, blk, w.w1)
+			flops += p.fdm3[e].Flops()
+		}
+		copy(out[li*m.Np:(li+1)*m.Np], w.w2)
+	}
+	return flops, nil
+}
+
+// CoarseOperator returns the coarse vertex-mesh operator A₀ with boundary
+// conditions applied (nil unless the preconditioner was built with
+// UseCoarse). Distributed solvers hand it to coarse.NewXXT.
+func (p *Precond) CoarseOperator() *la.CSR { return p.coarseA }
+
+// DirichletVtx reports whether coarse vertex v is held at zero (Dirichlet
+// or the Neumann pin).
+func (p *Precond) DirichletVtx(v int) bool { return p.dirichVtx[v] }
+
+// CoarseRestrictElems accumulates R₀ r over the listed (global) elements
+// into the full vertex vector r0: the restriction half of applyCoarse, with
+// r in rank-local layout (len(elems)*Np). Returns the flop count.
+func (p *Precond) CoarseRestrictElems(r0, r []float64, elems []int) int64 {
+	d := p.d
+	m := d.M
+	nc := 1 << m.Dim
+	var flops int64
+	for li, e := range elems {
+		base := e * m.Np
+		lbase := li * m.Np
+		for c := 0; c < nc; c++ {
+			v := m.ElemVert[e][c]
+			if p.dirichVtx[v] {
+				continue
+			}
+			w := p.pWeights[c]
+			var s float64
+			for l := 0; l < m.Np; l++ {
+				if w[l] == 0 {
+					continue
+				}
+				s += w[l] * r[lbase+l] / d.Mult[base+l]
+				flops += 3
+			}
+			r0[v] += s
+		}
+	}
+	return flops
+}
+
+// CoarseProlongElems adds the prolonged coarse correction P x0 into the
+// rank-local vector out over the listed (global) elements: the
+// prolongation half of applyCoarse. Returns the flop count.
+func (p *Precond) CoarseProlongElems(out, x0 []float64, elems []int) int64 {
+	m := p.d.M
+	nc := 1 << m.Dim
+	var flops int64
+	for li, e := range elems {
+		lbase := li * m.Np
+		for c := 0; c < nc; c++ {
+			v := m.ElemVert[e][c]
+			if p.dirichVtx[v] {
+				continue
+			}
+			xv := x0[v]
+			if xv == 0 {
+				continue
+			}
+			w := p.pWeights[c]
+			for l := 0; l < m.Np; l++ {
+				out[lbase+l] += w[l] * xv
+			}
+			flops += int64(2 * m.Np)
+		}
+	}
+	return flops
+}

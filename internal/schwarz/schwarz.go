@@ -59,7 +59,8 @@ type Precond struct {
 
 	// Coarse path.
 	coarse   *la.SparseChol
-	coarsePU []int // permutation used for the coarse factorization (new->old)
+	coarseA  *la.CSR // coarse vertex operator (after BCs), for distributed solvers
+	coarsePU []int   // permutation used for the coarse factorization (new->old)
 	// Prolongation weights: for each element-local node, the 2^Dim corner
 	// weights (tensor order).
 	pWeights  [][]float64 // [corner][localNode]
@@ -71,6 +72,7 @@ type Precond struct {
 	// component of each Apply.
 	localTime  *instrument.Timer
 	coarseTime *instrument.Timer
+	tracer     *instrument.Tracer
 }
 
 // Attach wires the local-solve and coarse-solve timers into reg; a nil
@@ -79,6 +81,10 @@ func (p *Precond) Attach(reg *instrument.Registry) {
 	p.localTime = reg.Timer("schwarz/local")
 	p.coarseTime = reg.Timer("schwarz/coarse")
 }
+
+// AttachTracer makes every Apply emit wall-clock spans for its local and
+// coarse sections on the solver-process track; nil detaches.
+func (p *Precond) AttachTracer(tr *instrument.Tracer) { p.tracer = tr }
 
 // New builds the preconditioner for the discretization d.
 func New(d *sem.Disc, opt Options) (*Precond, error) {
@@ -363,6 +369,7 @@ func (p *Precond) setupCoarse() error {
 		}
 	}
 	abc := b.ToCSR()
+	p.coarseA = abc
 	// Fill-reducing order + sparse Cholesky.
 	adj := make([][]int, m.NVert)
 	for i := 0; i < m.NVert; i++ {
@@ -436,6 +443,7 @@ func (p *Precond) Apply(out, r []float64) {
 		out[i] = 0
 	}
 	tLoc := p.localTime.Begin()
+	sp := p.tracer.Begin(instrument.PidWall, 0, "schwarz/local", "precond")
 	switch p.opt.Method {
 	case FDM:
 		if m.Dim == 2 {
@@ -490,10 +498,13 @@ func (p *Precond) Apply(out, r []float64) {
 		d.GS.Apply(out, gs.Sum)
 	}
 	p.localTime.End(tLoc)
+	sp.End()
 	if p.opt.UseCoarse {
 		// The coarse term is a continuous field: add it after assembly.
 		tCrs := p.coarseTime.Begin()
+		spc := p.tracer.Begin(instrument.PidWall, 0, "schwarz/coarse", "precond")
 		p.applyCoarse(out, r)
+		spc.End()
 		p.coarseTime.End(tCrs)
 	}
 	d.ApplyMask(out)

@@ -42,15 +42,42 @@ type Options struct {
 	// wall time and iteration count across calls sharing these handles.
 	Time  *instrument.Timer
 	Iters *instrument.Counter
+	// Converged is set to 1/0 after each solve (last-solve convergence
+	// indicator; nil no-ops).
+	Converged *instrument.Gauge
+	// Tracer wraps the whole solve in a wall-clock span named TraceName
+	// (default "cg") carrying iterations/convergence args. Leave nil when
+	// many solves run concurrently on one track (the begin/end pairs would
+	// interleave).
+	Tracer    *instrument.Tracer
+	TraceName string
 }
 
 // CG solves A x = b by preconditioned conjugate gradients, starting from
 // the supplied x (commonly zero). Work arrays are allocated internally.
 func CG(apply Operator, dot Dot, x, b []float64, opt Options) Stats {
 	t0 := opt.Time.Begin()
+	var sp instrument.Span
+	if opt.Tracer != nil {
+		name := opt.TraceName
+		if name == "" {
+			name = "cg"
+		}
+		sp = opt.Tracer.Begin(instrument.PidWall, 0, name, "solver")
+	}
 	st := cg(apply, dot, x, b, opt)
+	sp.EndWith(map[string]any{
+		"iterations": st.Iterations,
+		"converged":  st.Converged,
+		"final_res":  st.FinalRes,
+	})
 	opt.Time.End(t0)
 	opt.Iters.Add(int64(st.Iterations))
+	if st.Converged {
+		opt.Converged.Set(1)
+	} else {
+		opt.Converged.Set(0)
+	}
 	return st
 }
 

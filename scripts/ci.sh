@@ -17,4 +17,12 @@ echo "== tier 2: go vet ./... && go test -race -short ./... =="
 go vet ./...
 go test -race -short ./...
 
+echo "== smoke: semflow -trace/-history artifacts validate =="
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+go run ./cmd/semflow -case shearlayer -nel 4 -n 5 -steps 2 -report 1 \
+    -trace "$tmp/trace.json" -trace-ranks 4 -history "$tmp/history.jsonl"
+go run ./cmd/tracecheck -trace "$tmp/trace.json" -min-ranks 4 \
+    -history "$tmp/history.jsonl"
+
 echo "CI OK"
