@@ -34,6 +34,46 @@ func BenchmarkTable1ChannelStep(b *testing.B) {
 	}
 }
 
+// BenchmarkTable1ChannelStepW4 runs the same case with a 4-goroutine element
+// worker pool — the acceptance benchmark of the element-parallel hot paths.
+// Results are bitwise identical to the workers=1 run (disjoint element
+// blocks, deterministic work assignment; see TestWorkersChannelGolden).
+func BenchmarkTable1ChannelStepW4(b *testing.B) {
+	s, _, err := flowcases.Channel(flowcases.ChannelConfig{
+		Re: 7500, Alpha: 1, N: 9, Dt: 0.003125, Order: 2, Workers: 4,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1ChannelStepTuned steps with a Strict auto-tuned dispatch
+// table installed for the case's matmul shapes. Strict tuning only considers
+// bitwise-identical kernels, so the delta over BenchmarkTable1ChannelStep is
+// pure dispatch gain (see TestTunedDispatchChannelGolden).
+func BenchmarkTable1ChannelStepTuned(b *testing.B) {
+	defer la.ResetDispatch()
+	la.AutoTune(9, 2)
+	s, _, err := flowcases.Channel(flowcases.ChannelConfig{
+		Re: 7500, Alpha: 1, N: 9, Dt: 0.003125, Order: 2,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkTable1ChannelStepInstrumented is the same stepping loop with a
 // live metrics registry attached; comparing against BenchmarkTable1ChannelStep
 // bounds the instrumentation overhead (target: enabled <2% — disabled
@@ -156,6 +196,52 @@ func benchMatMul(b *testing.B, k la.MatMulKernel, n1, n2, n3 int) {
 	}
 }
 
+func benchABt(b *testing.B, k la.ABtKernel, n1, n2, n3 int) {
+	rng := rand.New(rand.NewSource(1))
+	a := make([]float64, n1*n2)
+	bb := make([]float64, n3*n2)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+	}
+	for i := range bb {
+		bb[i] = rng.NormFloat64()
+	}
+	c := make([]float64, n1*n3)
+	b.SetBytes(int64(8 * (n1*n2 + n3*n2 + n1*n3)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		la.MatMulABt(k, c, a, bb, n1, n2, n3)
+	}
+}
+
+// benchAutoMul times the dispatched entry point la.Mul itself: with tuned =
+// true it installs a Strict-tuned table for the shape first, so the pair of
+// benchmarks measures heuristic dispatch vs tuned dispatch end to end
+// (lookup cost included).
+func benchAutoMul(b *testing.B, tuned bool, n1, n2, n3 int) {
+	defer la.ResetDispatch()
+	la.ResetDispatch()
+	if tuned {
+		dt, _ := (&la.Tuner{Strict: true}).Tune([][3]int{{n1, n2, n3}}, nil)
+		la.Install(dt)
+	}
+	rng := rand.New(rand.NewSource(1))
+	a := make([]float64, n1*n2)
+	bb := make([]float64, n2*n3)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+	}
+	for i := range bb {
+		bb[i] = rng.NormFloat64()
+	}
+	c := make([]float64, n1*n3)
+	b.SetBytes(int64(8 * (n1*n2 + n2*n3 + n1*n3)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		la.Mul(c, a, bb, n1, n2, n3)
+	}
+}
+
 func BenchmarkTable3Naive16(b *testing.B)   { benchMatMul(b, la.KernelNaive, 16, 16, 16) }
 func BenchmarkTable3IKJ16(b *testing.B)     { benchMatMul(b, la.KernelIKJ, 16, 16, 16) }
 func BenchmarkTable3F2_16(b *testing.B)     { benchMatMul(b, la.KernelF2, 16, 16, 16) }
@@ -165,6 +251,15 @@ func BenchmarkTable3F2Small(b *testing.B)   { benchMatMul(b, la.KernelF2, 14, 2,
 func BenchmarkTable3BlockedWide(b *testing.B) {
 	benchMatMul(b, la.KernelBlocked, 16, 16, 256)
 }
+
+// ABt variants on the order-9 2D square shape (the ApplyR2D configuration).
+func BenchmarkTable3ABtSimple10(b *testing.B)   { benchABt(b, la.ABtSimple, 10, 10, 10) }
+func BenchmarkTable3ABtUnrolled10(b *testing.B) { benchABt(b, la.ABtUnrolled, 10, 10, 10) }
+func BenchmarkTable3ABtBlocked10(b *testing.B)  { benchABt(b, la.ABtBlocked, 10, 10, 10) }
+
+// Dispatched la.Mul end to end, heuristic vs Strict-tuned (Table 3 "auto").
+func BenchmarkTable3AutoMulDefault10(b *testing.B) { benchAutoMul(b, false, 10, 10, 10) }
+func BenchmarkTable3AutoMulTuned10(b *testing.B)   { benchAutoMul(b, true, 10, 10, 10) }
 
 // ---- Table 4: performance-model evaluation ----
 

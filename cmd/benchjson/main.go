@@ -1,0 +1,169 @@
+// Command benchjson converts `go test -bench -benchmem` output into a
+// machine-readable JSON document (the BENCH_<n>.json artifact of
+// scripts/bench.sh). It parses the standard benchmark result lines from
+// stdin (or -in), records the run environment, and can embed
+//
+//   - a baseline document (-baseline): prior hand-recorded or previously
+//     generated measurements, carried verbatim under "baseline" so a single
+//     artifact holds the before/after pair, and
+//   - a kernel-tuning report (-tune N:dim): the per-shape matmul
+//     micro-benchmarks of la.Tuner for the given discretization order,
+//     i.e. the data behind the dispatch table the solvers install.
+//
+// The output schema ("repro-bench/1") is documented in DESIGN.md.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/la"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name       string  `json:"name"`
+	Procs      int     `json:"procs"`
+	Iterations int     `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	MBPerS     float64 `json:"mb_per_s,omitempty"`
+	// Pointers: a measured 0 (the allocation-free hot path) must stay
+	// distinguishable from "not run with -benchmem".
+	BytesPerOp  *int64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64 `json:"allocs_per_op,omitempty"`
+}
+
+// Doc is the emitted artifact.
+type Doc struct {
+	Schema     string           `json:"schema"`
+	Label      string           `json:"label,omitempty"`
+	Generated  string           `json:"generated,omitempty"`
+	Go         string           `json:"go"`
+	GOOS       string           `json:"goos"`
+	GOARCH     string           `json:"goarch"`
+	CPUs       int              `json:"cpus"`
+	CPUModel   string           `json:"cpu_model,omitempty"`
+	Baseline   json.RawMessage  `json:"baseline,omitempty"`
+	Benchmarks []Result         `json:"benchmarks"`
+	Tuning     []la.ShapeResult `json:"tuning,omitempty"`
+}
+
+// benchLine matches e.g.
+//
+//	BenchmarkTable1ChannelStep-4   30   35123456 ns/op   7248992 B/op   1874 allocs/op
+//	BenchmarkTable3Naive16         69850  755.9 ns/op  3174.88 MB/s
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-(\d+))?\s+(\d+)\s+([\d.]+) ns/op(.*)$`)
+
+func main() {
+	in := flag.String("in", "", "benchmark output to parse (default stdin)")
+	out := flag.String("out", "", "output JSON path (default stdout)")
+	label := flag.String("label", "", "free-form label recorded in the artifact")
+	baseline := flag.String("baseline", "", "JSON file embedded verbatim under \"baseline\"")
+	tune := flag.String("tune", "", "N:dim — also run the la.Tuner shape sweep for this order and embed the per-shape kernel MFLOPS")
+	tuneMs := flag.Int("tune-ms", 25, "tuner measurement window per (shape, kernel), milliseconds")
+	stamp := flag.Bool("stamp", true, "record the generation time (disable for byte-reproducible output)")
+	flag.Parse()
+
+	doc := Doc{
+		Schema: "repro-bench/1",
+		Label:  *label,
+		Go:     runtime.Version(),
+		GOOS:   runtime.GOOS,
+		GOARCH: runtime.GOARCH,
+		CPUs:   runtime.NumCPU(),
+	}
+	if *stamp {
+		doc.Generated = time.Now().UTC().Format(time.RFC3339)
+	}
+
+	r := os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			log.Fatalf("benchjson: %v", err)
+		}
+		defer f.Close()
+		r = f
+	}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		if cm, ok := strings.CutPrefix(line, "cpu: "); ok {
+			doc.CPUModel = strings.TrimSpace(cm)
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		res := Result{Name: strings.TrimPrefix(m[1], "Benchmark"), Procs: 1}
+		if m[2] != "" {
+			res.Procs, _ = strconv.Atoi(m[2])
+		}
+		res.Iterations, _ = strconv.Atoi(m[3])
+		res.NsPerOp, _ = strconv.ParseFloat(m[4], 64)
+		rest := strings.Fields(m[5])
+		for i := 0; i+1 < len(rest); i += 2 {
+			v := rest[i]
+			switch rest[i+1] {
+			case "MB/s":
+				res.MBPerS, _ = strconv.ParseFloat(v, 64)
+			case "B/op":
+				if n, err := strconv.ParseInt(v, 10, 64); err == nil {
+					res.BytesPerOp = &n
+				}
+			case "allocs/op":
+				if n, err := strconv.ParseInt(v, 10, 64); err == nil {
+					res.AllocsPerOp = &n
+				}
+			}
+		}
+		doc.Benchmarks = append(doc.Benchmarks, res)
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatalf("benchjson: %v", err)
+	}
+
+	if *baseline != "" {
+		raw, err := os.ReadFile(*baseline)
+		if err != nil {
+			log.Fatalf("benchjson: baseline: %v", err)
+		}
+		if !json.Valid(raw) {
+			log.Fatalf("benchjson: baseline %s is not valid JSON", *baseline)
+		}
+		doc.Baseline = json.RawMessage(raw)
+	}
+
+	if *tune != "" {
+		var n, dim int
+		if _, err := fmt.Sscanf(*tune, "%d:%d", &n, &dim); err != nil || n < 2 || (dim != 2 && dim != 3) {
+			log.Fatalf("benchjson: -tune wants N:dim (e.g. 9:2), got %q", *tune)
+		}
+		tn := &la.Tuner{MinTime: time.Duration(*tuneMs) * time.Millisecond}
+		mul, abt := la.ShapesForOrder(n, dim)
+		_, doc.Tuning = tn.Tune(mul, abt)
+	}
+
+	enc, err := json.MarshalIndent(&doc, "", "  ")
+	if err != nil {
+		log.Fatalf("benchjson: %v", err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		log.Fatalf("benchjson: %v", err)
+	}
+}

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/flowcases"
 	"repro/internal/instrument"
+	"repro/internal/la"
 	"repro/internal/ns"
 	"repro/internal/parrun"
 )
@@ -31,6 +32,7 @@ func main() {
 	alpha := flag.Float64("alpha", 0.3, "filter strength")
 	l := flag.Int("L", 20, "pressure projection basis size")
 	workers := flag.Int("workers", 2, "element-loop workers (dual-processor mode analogue)")
+	autotune := flag.Bool("autotune", false, "micro-benchmark the matmul kernels for this case's shapes and install the per-shape dispatch table (bitwise-identical Strict mode)")
 	every := flag.Int("report", 10, "report interval")
 	stats := flag.Bool("stats", false, "print the per-phase instrumentation report after the run")
 	statsJSON := flag.Bool("stats-json", false, "like -stats, but emit JSON")
@@ -79,6 +81,13 @@ func main() {
 	}
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *autotune {
+		res := la.AutoTune(s.M.N, s.M.Dim)
+		fmt.Printf("autotune: %d shapes tuned (strict kernels only)\n", len(res))
+		for _, r := range res {
+			fmt.Printf("  %s\n", r)
+		}
 	}
 	var reg *instrument.Registry
 	if *stats || *statsJSON {

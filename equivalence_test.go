@@ -1,0 +1,102 @@
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/flowcases"
+	"repro/internal/la"
+	"repro/internal/ns"
+)
+
+func channelSolver(t testing.TB, workers int) *ns.Solver {
+	t.Helper()
+	s, _, err := flowcases.Channel(flowcases.ChannelConfig{
+		Re: 7500, Alpha: 1, N: 9, Dt: 0.003125, Order: 2, Workers: workers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func stepN(t testing.TB, s *ns.Solver, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if _, err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func compareFields(t *testing.T, a, b *ns.Solver, label string) {
+	t.Helper()
+	for c := 0; c < 2; c++ {
+		ua, ub := a.Velocity(c), b.Velocity(c)
+		for i := range ua {
+			if ua[i] != ub[i] {
+				t.Fatalf("%s: velocity[%d][%d] differs: %g vs %g", label, c, i, ub[i], ua[i])
+			}
+		}
+	}
+	pa, pb := a.Pressure(), b.Pressure()
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatalf("%s: pressure[%d] differs: %g vs %g", label, i, pb[i], pa[i])
+		}
+	}
+}
+
+// Steady-state Step must be allocation-free at workers=1: all per-step
+// make() calls from the seed stepper now draw from solver arenas. Warm-up
+// covers the BDF ramp, scratch sizing, and one full projection-basis cycle
+// (L=20 plus restart) so the projector's freelist is primed.
+func TestChannelStepAllocationFree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second warm-up")
+	}
+	s := channelSolver(t, 1)
+	stepN(t, s, 24)
+	allocs := testing.AllocsPerRun(4, func() {
+		if _, err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state Step allocated %v times per step, want 0", allocs)
+	}
+}
+
+// A Strict-tuned dispatch table must leave the stepped fields bitwise
+// identical to the default path: strict kernels share the default's
+// sequential accumulation order, so tuning changes speed, never results
+// (the golden check of the Table 1 channel case).
+func TestTunedDispatchChannelGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the channel case twice")
+	}
+	defer la.ResetDispatch()
+	la.ResetDispatch()
+	ref := channelSolver(t, 1)
+	stepN(t, ref, 5)
+
+	la.AutoTune(9, 2)
+	if la.Installed() == nil {
+		t.Fatal("AutoTune installed no dispatch table")
+	}
+	tuned := channelSolver(t, 1)
+	stepN(t, tuned, 5)
+	compareFields(t, ref, tuned, "tuned dispatch")
+}
+
+// The element worker pool must not change results: all parallel loops write
+// disjoint element blocks with deterministic work assignment.
+func TestWorkersChannelGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the channel case twice")
+	}
+	ref := channelSolver(t, 1)
+	stepN(t, ref, 5)
+	par := channelSolver(t, 4)
+	stepN(t, par, 5)
+	compareFields(t, ref, par, "workers=4")
+}

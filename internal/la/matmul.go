@@ -70,9 +70,16 @@ func MatMul(k MatMulKernel, c, a, b []float64, n1, n2, n3 int) {
 }
 
 // Mul is the default multiply used throughout the solvers: C = A*B.
-// It dispatches to the kernel that is fastest for typical SEM shapes.
+// It routes through the per-shape dispatch table (see dispatch.go), which
+// selects among the MatMul* kernels; the static default heuristic and every
+// Strict-tuned table choose only kernels that are bitwise-identical to the
+// textbook loop, so results do not depend on the installed table.
 func Mul(c, a, b []float64, n1, n2, n3 int) {
-	MatMulIKJ(c, a, b, n1, n2, n3)
+	if k, ok := lookupMul(n1, n2, n3); ok {
+		MatMul(k, c, a, b, n1, n2, n3)
+		return
+	}
+	mulDefault(c, a, b, n1, n2, n3)
 }
 
 // MatMulNaive computes C = A*B with the textbook ijk loop order.
@@ -212,8 +219,61 @@ func MatMulBlocked(c, a, b []float64, n1, n2, n3 int) {
 
 // MulABt computes C = A*Bᵀ where A is n1 x n2, B is n3 x n2, C is n1 x n3.
 // This is the natural kernel for applying a 1D operator along the second
-// tensor dimension (u Bᵀ in eq. (3) of the paper).
+// tensor dimension (u Bᵀ in eq. (3) of the paper). Like Mul it routes
+// through the per-shape dispatch table; every ABt variant accumulates each
+// output with a single sequential chain over k, so all are bitwise-identical.
 func MulABt(c, a, b []float64, n1, n2, n3 int) {
+	if k, ok := lookupABt(n1, n2, n3); ok {
+		MatMulABt(k, c, a, b, n1, n2, n3)
+		return
+	}
+	abtDefault(c, a, b, n1, n2, n3)
+}
+
+// ABtKernel identifies a MulABt variant.
+type ABtKernel int
+
+// MulABt kernel variants. All produce bitwise-identical results (each output
+// entry is one sequential dot product over k), so tuning never changes the
+// computed fields.
+const (
+	// ABtSimple is the plain row-by-row dot-product loop.
+	ABtSimple ABtKernel = iota
+	// ABtUnrolled fully unrolls the contraction for n2 in 2..16 (the shapes
+	// an order-N SEM discretization produces), falling back to the plain
+	// loop otherwise.
+	ABtUnrolled
+	// ABtBlocked computes a 2x2 output tile per inner loop: four independent
+	// accumulator chains sharing each A/B load.
+	ABtBlocked
+)
+
+var abtNames = [...]string{"abt", "abt-unroll", "abt-2x2"}
+
+func (k ABtKernel) String() string {
+	if k < 0 || int(k) >= len(abtNames) {
+		return "unknown"
+	}
+	return abtNames[k]
+}
+
+// ABtKernels lists every MulABt variant.
+var ABtKernels = []ABtKernel{ABtSimple, ABtUnrolled, ABtBlocked}
+
+// MatMulABt computes C = A*Bᵀ with the given variant (same shapes as MulABt).
+func MatMulABt(k ABtKernel, c, a, b []float64, n1, n2, n3 int) {
+	switch k {
+	case ABtUnrolled:
+		MulABtUnrolled(c, a, b, n1, n2, n3)
+	case ABtBlocked:
+		MulABtBlocked(c, a, b, n1, n2, n3)
+	default:
+		MulABtSimple(c, a, b, n1, n2, n3)
+	}
+}
+
+// MulABtSimple is the plain dot-product MulABt (the seed kernel).
+func MulABtSimple(c, a, b []float64, n1, n2, n3 int) {
 	for i := 0; i < n1; i++ {
 		ar := a[i*n2 : i*n2+n2]
 		cr := c[i*n3 : i*n3+n3]
@@ -224,6 +284,76 @@ func MulABt(c, a, b []float64, n1, n2, n3 int) {
 				s += av * br[k]
 			}
 			cr[j] = s
+		}
+	}
+}
+
+// MulABtBlocked computes C = A*Bᵀ with 2x2 output tiles: the four dot
+// products of a tile share each load of A and B rows, quadrupling the
+// arithmetic per byte moved while keeping every output a single sequential
+// accumulation over k (bitwise-identical to MulABtSimple).
+func MulABtBlocked(c, a, b []float64, n1, n2, n3 int) {
+	i2 := n1 &^ 1
+	j2 := n3 &^ 1
+	for i := 0; i < i2; i += 2 {
+		a0 := a[i*n2 : i*n2+n2]
+		a1 := a[(i+1)*n2 : (i+1)*n2+n2]
+		c0 := c[i*n3 : i*n3+n3]
+		c1 := c[(i+1)*n3 : (i+1)*n3+n3]
+		for j := 0; j < j2; j += 2 {
+			b0 := b[j*n2 : j*n2+n2]
+			b1 := b[(j+1)*n2 : (j+1)*n2+n2]
+			var s00, s01, s10, s11 float64
+			for k := 0; k < n2; k++ {
+				av0, av1 := a0[k], a1[k]
+				bv0, bv1 := b0[k], b1[k]
+				s00 += av0 * bv0
+				s01 += av0 * bv1
+				s10 += av1 * bv0
+				s11 += av1 * bv1
+			}
+			c0[j], c0[j+1] = s00, s01
+			c1[j], c1[j+1] = s10, s11
+		}
+		for j := j2; j < n3; j++ {
+			br := b[j*n2 : j*n2+n2]
+			var s0, s1 float64
+			for k := 0; k < n2; k++ {
+				bv := br[k]
+				s0 += a0[k] * bv
+				s1 += a1[k] * bv
+			}
+			c0[j], c1[j] = s0, s1
+		}
+	}
+	for i := i2; i < n1; i++ {
+		ar := a[i*n2 : i*n2+n2]
+		cr := c[i*n3 : i*n3+n3]
+		for j := 0; j < n3; j++ {
+			br := b[j*n2 : j*n2+n2]
+			var s float64
+			for k, av := range ar {
+				s += av * br[k]
+			}
+			cr[j] = s
+		}
+	}
+}
+
+// MulABtUnrolled dispatches each row dot product to a fully-unrolled kernel
+// for the contraction lengths n2 in 2..16 covering the per-shape calls of an
+// order-N SEM operator evaluation (np1, nm1 for N up to 15).
+func MulABtUnrolled(c, a, b []float64, n1, n2, n3 int) {
+	dot := dotFuncs(n2)
+	if dot == nil {
+		MulABtSimple(c, a, b, n1, n2, n3)
+		return
+	}
+	for i := 0; i < n1; i++ {
+		ar := a[i*n2 : i*n2+n2]
+		cr := c[i*n3 : i*n3+n3]
+		for j := 0; j < n3; j++ {
+			cr[j] = dot(ar, b[j*n2:j*n2+n2])
 		}
 	}
 }

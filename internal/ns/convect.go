@@ -28,7 +28,7 @@ func (s *Solver) putBuf(b ...[]float64) {
 // material derivative (Sec. 4 of the paper).
 func (s *Solver) advectingField(t float64, hist [][3][]float64) [3][]float64 {
 	k := len(hist)
-	coef := make([]float64, k)
+	var coef [4]float64 // k <= BDF order + 1 <= 4; stack array, no allocation
 	tk := func(q int) float64 { return -float64(q+1) * s.Cfg.Dt }
 	for q := 0; q < k; q++ {
 		l := 1.0
@@ -78,36 +78,51 @@ func (s *Solver) releaseField(c [3][]float64) {
 // once-per-step filter supplies the stabilization (Sec. 2). divc is ∇·c
 // precomputed per stage.
 func (s *Solver) convect(out, v []float64, c [3][]float64, divc []float64) {
-	g := make([][]float64, s.dim)
+	g := s.gSlices[:s.dim]
 	for d := 0; d < s.dim; d++ {
 		g[d] = s.getBuf()
 	}
 	s.DN.Grad(g, v)
+	// Element-parallel pointwise combine (disjoint output blocks).
+	s.curConvOut, s.curConvV, s.curConvDiv = out, v, divc
+	s.curConvC, s.curConvG = c, g
+	s.DN.ForElements(s.convLoop)
+	s.curConvOut, s.curConvV, s.curConvDiv = nil, nil, nil
+	s.curConvC, s.curConvG = [3][]float64{}, nil
+	s.putBuf(g...)
+	s.D.CountFlops(int64((2*s.dim + 3) * s.n))
+}
+
+// convectElement combines the advecting field with the gradient stack on
+// element e's block.
+func (s *Solver) convectElement(e int) {
+	np := s.M.Np
+	i0, i1 := e*np, (e+1)*np
+	out, c, g := s.curConvOut, s.curConvC, s.curConvG
 	sw := s.Cfg.SkewWeight
 	if sw == 0 {
-		for i := range out {
+		for i := i0; i < i1; i++ {
 			var adv float64
 			for d := 0; d < s.dim; d++ {
 				adv += c[d][i] * g[d][i]
 			}
 			out[i] = -adv
 		}
-	} else {
-		for i := range out {
-			var adv float64
-			for d := 0; d < s.dim; d++ {
-				adv += c[d][i] * g[d][i]
-			}
-			out[i] = -adv - sw*0.5*divc[i]*v[i]
-		}
+		return
 	}
-	s.putBuf(g...)
-	s.D.CountFlops(int64((2*s.dim + 3) * s.n))
+	v, divc := s.curConvV, s.curConvDiv
+	for i := i0; i < i1; i++ {
+		var adv float64
+		for d := 0; d < s.dim; d++ {
+			adv += c[d][i] * g[d][i]
+		}
+		out[i] = -adv - sw*0.5*divc[i]*v[i]
+	}
 }
 
 // divergencePointwise computes ∇·c at the GLL nodes.
 func (s *Solver) divergencePointwise(out []float64, c [3][]float64) {
-	g := make([][]float64, s.dim)
+	g := s.gSlices[:s.dim]
 	for d := 0; d < s.dim; d++ {
 		g[d] = s.getBuf()
 	}
@@ -191,7 +206,7 @@ func (s *Solver) scalarSolve(tTil [][]float64, gamma []float64, beta, tNew float
 	var d *sem.Disc = s.DS
 	h1 := cfg.Diffusivity
 	h2 := beta / s.Cfg.Dt
-	b := make([]float64, s.n)
+	b := s.bArena
 	for i := 0; i < s.n; i++ {
 		var sum float64
 		for q := range tTil {
@@ -214,7 +229,7 @@ func (s *Solver) scalarSolve(tTil [][]float64, gamma []float64, beta, tNew float
 			}
 		}
 	}
-	ht := make([]float64, s.n)
+	ht := s.huArena
 	d.Helmholtz(ht, tn, h1, h2)
 	for i := range b {
 		b[i] -= ht[i]
@@ -224,16 +239,15 @@ func (s *Solver) scalarSolve(tTil [][]float64, gamma []float64, beta, tNew float
 			b[i] *= mk
 		}
 	}
-	diag := d.HelmholtzDiag(h1, h2)
-	jac := func(out, in []float64) {
-		for i := range in {
-			out[i] = in[i] / diag[i]
-		}
+	s.helmholtzDiagS(h1, h2)
+	s.curH1S, s.curH2S = h1, h2
+	du := s.duArena
+	for i := range du {
+		du[i] = 0
 	}
-	du := make([]float64, s.n)
-	st := solver.CG(func(out, in []float64) { d.Helmholtz(out, in, h1, h2) },
-		d.Dot, du, b, solver.Options{Tol: s.Cfg.VTol, Relative: true, MaxIter: 1000, Precond: jac,
-			Time: s.instr.scalarCG, Iters: s.instr.scalarIters})
+	st := solver.CG(s.helmOpS,
+		d.Dot, du, b, solver.Options{Tol: s.Cfg.VTol, Relative: true, MaxIter: 1000, Precond: s.jacobiS,
+			Time: s.instr.scalarCG, Iters: s.instr.scalarIters, Scratch: s.cgScratch})
 	if !st.Converged && st.FinalRes > 1e-6 {
 		return st.Iterations, fmt.Errorf("ns: scalar Helmholtz solve failed (res %g)", st.FinalRes)
 	}

@@ -146,9 +146,59 @@ type Solver struct {
 
 	// Scratch.
 	scr      [][]float64
+	scr012   [][]float64 // header over scr[0:3] (gradient stacks)
+	scr345   [][]float64 // header over scr[3:6] (pressure-gradient stacks)
 	vptCache []float64
 	pvtCache []float64
 	bufPool  [][]float64
+	gSlices  [][]float64 // reusable [][]float64 header for convection gradients
+	rkFields [][]float64 // reusable header for the RK4 field set
+
+	// Steady-state arenas: every per-step make() from the seed stepper lives
+	// here instead, so Step allocates nothing after warm-up.
+	iwork     [][]float64 // per-worker mesh-to-mesh interpolation scratch
+	ustar     [3][]float64
+	bArena    []float64 // Helmholtz RHS (velocity grid)
+	huArena   []float64 // lifted-operator image
+	duArena   []float64 // CG solution increment
+	rpArena   []float64 // pressure RHS (Gauss grid)
+	dpArena   []float64 // pressure increment
+	divArena  []float64 // divergence diagnostics
+	rinArena  []float64 // deflated residual copy in pressurePrecond
+	histBuf   [][3][]float64
+	tHistBuf  [][]float64
+	utilArena [][3][]float64 // subintegrated velocity fields ũ^{n-q}
+	tTilArena [][]float64    // subintegrated scalar fields
+	cgScratch *solver.Scratch
+
+	// Cached Helmholtz diagonals (keyed by the h1/h2 pair, which only
+	// changes during the BDF ramp-up) and prebuilt operator closures so the
+	// per-step solves allocate no closures.
+	helmDiag         []float64
+	helmH1, helmH2   float64
+	helmDiagS        []float64
+	helmH1S, helmH2S float64
+	curH1, curH2     float64
+	curH1S, curH2S   float64
+	helmOp           solver.Operator
+	helmOpS          solver.Operator
+	jacobi           solver.Operator
+	jacobiS          solver.Operator
+	pPrecondOp       solver.Operator
+
+	// Prebuilt ForElements bodies for the element-parallel interpolation and
+	// convection loops, with the operands they act on during one call.
+	restrictLoop func(e, w int)
+	prolongLoop  func(e, w int)
+	gradTLoop    func(e, w int)
+	convLoop     func(e, w int)
+	curP, curV   []float64
+	curOuts      [][]float64
+	curConvOut   []float64
+	curConvV     []float64
+	curConvDiv   []float64
+	curConvC     [3][]float64
+	curConvG     [][]float64
 
 	instr   stepInstr              // per-phase metric handles (zero value = disabled)
 	tracer  *instrument.Tracer     // nil = off; wall spans for step phases + CG
@@ -357,7 +407,93 @@ func New(cfg Config) (*Solver, error) {
 	for i := range s.scr {
 		s.scr[i] = make([]float64, s.n)
 	}
+	s.scr012 = s.scr[0:3]
+	s.scr345 = s.scr[3:6]
+	s.gSlices = make([][]float64, 3)
+	s.rkFields = make([][]float64, 3)
+	s.iwork = make([][]float64, cfg.Workers)
+	for w := range s.iwork {
+		s.iwork[w] = make([]float64, s.interpWorkLen())
+	}
+	for c := 0; c < 3; c++ {
+		s.ustar[c] = make([]float64, s.n)
+	}
+	s.bArena = make([]float64, s.n)
+	s.huArena = make([]float64, s.n)
+	s.duArena = make([]float64, s.n)
+	npTot := m.K * s.npp
+	s.rpArena = make([]float64, npTot)
+	s.dpArena = make([]float64, npTot)
+	s.divArena = make([]float64, npTot)
+	s.rinArena = make([]float64, npTot)
+	s.histBuf = make([][3][]float64, 0, 4)
+	s.utilArena = make([][3][]float64, cfg.Order)
+	for q := range s.utilArena {
+		for c := 0; c < s.dim; c++ {
+			s.utilArena[q][c] = make([]float64, s.n)
+		}
+	}
+	if cfg.Scalar != nil {
+		s.tHistBuf = make([][]float64, 0, 4)
+		s.tTilArena = make([][]float64, cfg.Order)
+		for q := range s.tTilArena {
+			s.tTilArena[q] = make([]float64, s.n)
+		}
+	}
+	s.cgScratch = &solver.Scratch{}
+	s.helmOp = func(out, in []float64) { s.D.Helmholtz(out, in, s.curH1, s.curH2) }
+	s.jacobi = func(out, in []float64) {
+		diag := s.helmDiag
+		for i := range in {
+			out[i] = in[i] / diag[i]
+		}
+	}
+	if cfg.Scalar != nil {
+		s.helmOpS = func(out, in []float64) { s.DS.Helmholtz(out, in, s.curH1S, s.curH2S) }
+		s.jacobiS = func(out, in []float64) {
+			diag := s.helmDiagS
+			for i := range in {
+				out[i] = in[i] / diag[i]
+			}
+		}
+	}
+	s.pPrecondOp = s.pressurePrecond
+	np := m.Np
+	npp := s.npp
+	s.restrictLoop = func(e, w int) {
+		s.interpElemVPRestrict(s.curP[e*npp:(e+1)*npp], s.curV[e*np:(e+1)*np], s.iwork[w])
+	}
+	s.prolongLoop = func(e, w int) {
+		s.interpElemPVProlong(s.curV[e*np:(e+1)*np], s.curP[e*npp:(e+1)*npp], s.iwork[w])
+	}
+	s.gradTLoop = func(e, w int) { s.gradTElement(e, s.iwork[w]) }
+	s.convLoop = func(e, w int) { s.convectElement(e) }
+	// Force the lazily-built transposed interpolation matrices now: the
+	// element loops that use them run on the worker pool, where a lazy
+	// first-call fill would race.
+	s.vptMatrix()
+	s.pvtMatrix()
 	return s, nil
+}
+
+// helmholtzDiagV returns the (assembled) velocity Helmholtz diagonal for
+// (h1, h2), recomputing only when the pair changes — i.e. during the BDF
+// ramp-up of the first steps.
+func (s *Solver) helmholtzDiagV(h1, h2 float64) []float64 {
+	if s.helmDiag == nil || h1 != s.helmH1 || h2 != s.helmH2 {
+		s.helmDiag = s.D.HelmholtzDiag(h1, h2)
+		s.helmH1, s.helmH2 = h1, h2
+	}
+	return s.helmDiag
+}
+
+// helmholtzDiagS is the scalar-grid analogue of helmholtzDiagV.
+func (s *Solver) helmholtzDiagS(h1, h2 float64) []float64 {
+	if s.helmDiagS == nil || h1 != s.helmH1S || h2 != s.helmH2S {
+		s.helmDiagS = s.DS.HelmholtzDiag(h1, h2)
+		s.helmH1S, s.helmH2S = h1, h2
+	}
+	return s.helmDiagS
 }
 
 // Time returns the current simulation time.

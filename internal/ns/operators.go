@@ -102,7 +102,7 @@ func (s *Solver) pvtMatrix() []float64 {
 func (s *Solver) Divergence(out []float64, u [3][]float64) {
 	m := s.M
 	div := s.scr[6]
-	g := [][]float64{s.scr[0], s.scr[1], s.scr[2]}
+	g := s.scr012
 	for i := range div {
 		div[i] = 0
 	}
@@ -116,10 +116,11 @@ func (s *Solver) Divergence(out []float64, u [3][]float64) {
 	for i := range div {
 		div[i] *= m.B[i]
 	}
-	work := make([]float64, s.interpWorkLen())
-	for e := 0; e < m.K; e++ {
-		s.interpElemVPRestrict(out[e*s.npp:(e+1)*s.npp], div[e*m.Np:(e+1)*m.Np], work)
-	}
+	// Element-parallel restriction to the pressure grid (per-worker scratch,
+	// disjoint output blocks: bitwise independent of the worker count).
+	s.curP, s.curV = out, div
+	s.DN.ForElements(s.restrictLoop)
+	s.curP, s.curV = nil, nil
 	s.D.CountFlops(int64(len(out) + 2*len(div)*s.dim))
 }
 
@@ -127,43 +128,41 @@ func (s *Solver) Divergence(out []float64, u [3][]float64) {
 // element-local velocity-grid vector whose plain dot with any velocity u
 // equals pᵀ (D u). outs must hold dim slices of length n.
 func (s *Solver) GradientT(outs [][]float64, p []float64) {
-	m := s.M
-	work := make([]float64, s.interpWorkLen())
-	tmpP := make([]float64, s.npp)
-	tmpV := s.scr[6]
-	w1 := s.scr[7]
 	for c := 0; c < s.dim; c++ {
 		for i := range outs[c] {
 			outs[c][i] = 0
 		}
 	}
+	// Element-parallel: each element writes only its own blocks of outs and
+	// the shared scratch stacks, so any worker count is bitwise identical.
+	s.curOuts, s.curP = outs, p
+	s.DN.ForElements(s.gradTLoop)
+	s.curOuts, s.curP = nil, nil
+}
+
+// gradTElement computes element e's contribution to Dᵀp using the supplied
+// per-worker scratch (length >= interpWorkLen >= Np).
+func (s *Solver) gradTElement(e int, work []float64) {
+	m := s.M
 	np1 := s.np1
-	for e := 0; e < m.K; e++ {
-		copy(tmpP, p[e*s.npp:(e+1)*s.npp])
-		tv := tmpV[e*m.Np : (e+1)*m.Np]
-		s.interpElemPVProlong(tv, tmpP, work)
-		for l := 0; l < m.Np; l++ {
-			tv[l] *= m.B[e*m.Np+l]
-		}
-		// out_c = Σ_a D_aᵀ (metric_{a,c} · tv).
-		for c := 0; c < s.dim; c++ {
-			oc := outs[c][e*m.Np : (e+1)*m.Np]
-			we := w1[e*m.Np : (e+1)*m.Np]
-			buf := work[:m.Np]
-			for a := 0; a < s.dim; a++ {
-				var metric []float64
-				if s.dim == 2 {
-					metric = s.M.RX[a*2+c] // a=0: rx/ry, a=1: sx/sy
-				} else {
-					metric = s.M.RX[a*3+c]
-				}
-				for l := 0; l < m.Np; l++ {
-					we[l] = metric[e*m.Np+l] * tv[l]
-				}
-				tensor.ApplyDim(buf, s.M.Dt, we, np1, s.dim, a)
-				for l := 0; l < m.Np; l++ {
-					oc[l] += buf[l]
-				}
+	tv := s.scr[6][e*m.Np : (e+1)*m.Np]
+	we := s.scr[7][e*m.Np : (e+1)*m.Np]
+	s.interpElemPVProlong(tv, s.curP[e*s.npp:(e+1)*s.npp], work)
+	for l := 0; l < m.Np; l++ {
+		tv[l] *= m.B[e*m.Np+l]
+	}
+	// out_c = Σ_a D_aᵀ (metric_{a,c} · tv).
+	buf := work[:m.Np]
+	for c := 0; c < s.dim; c++ {
+		oc := s.curOuts[c][e*m.Np : (e+1)*m.Np]
+		for a := 0; a < s.dim; a++ {
+			metric := s.M.RX[a*s.dim+c] // a=0: rx/ry, a=1: sx/sy (+tz row in 3D)
+			for l := 0; l < m.Np; l++ {
+				we[l] = metric[e*m.Np+l] * tv[l]
+			}
+			tensor.ApplyDim(buf, s.M.Dt, we, np1, s.dim, a)
+			for l := 0; l < m.Np; l++ {
+				oc[l] += buf[l]
 			}
 		}
 	}
@@ -173,7 +172,7 @@ func (s *Solver) GradientT(outs [][]float64, p []float64) {
 // E = D (M B̃⁻¹ QQᵀ) Dᵀ (Sec. 4 of the paper). For enclosed domains the
 // constant mode is deflated so CG sees an SPD operator.
 func (s *Solver) applyE(out, p []float64) {
-	g := [][]float64{s.scr[3], s.scr[4], s.scr[5]}
+	g := s.scr345
 	s.GradientT(g[:s.dim], p)
 	var u3 [3][]float64
 	for c := 0; c < s.dim; c++ {
@@ -245,24 +244,22 @@ func (s *Solver) pressurePrecond(out, r []float64) {
 		copy(out, r)
 		return
 	}
-	m := s.M
-	work := make([]float64, s.interpWorkLen())
 	rv := s.scr[6]
 	rin := r
 	if s.enclosed {
-		rin = append([]float64(nil), r...)
+		rin = s.rinArena
+		copy(rin, r)
 		s.deflatePressure(rin)
 	}
-	for e := 0; e < m.K; e++ {
-		s.interpElemPVProlong(rv[e*m.Np:(e+1)*m.Np], rin[e*s.npp:(e+1)*s.npp], work)
-	}
+	s.curV, s.curP = rv, rin
+	s.DN.ForElements(s.prolongLoop)
 	// The Schwarz preconditioner expects an assembled residual.
 	s.DN.GS.Apply(rv, gs.Sum)
 	zv := s.scr[7]
 	s.pPre.Apply(zv, rv)
-	for e := 0; e < m.K; e++ {
-		s.interpElemVPRestrict(out[e*s.npp:(e+1)*s.npp], zv[e*m.Np:(e+1)*m.Np], work)
-	}
+	s.curV, s.curP = zv, out
+	s.DN.ForElements(s.restrictLoop)
+	s.curV, s.curP = nil, nil
 	if s.enclosed {
 		s.deflatePressure(out)
 	}
@@ -271,7 +268,7 @@ func (s *Solver) pressurePrecond(out, r []float64) {
 // DivergenceNorm returns ‖D u‖₂ of the current velocity — the discrete
 // continuity residual.
 func (s *Solver) DivergenceNorm() float64 {
-	out := make([]float64, s.M.K*s.npp)
+	out := s.divArena
 	s.Divergence(out, s.U)
 	return math.Sqrt(s.pressureDot(out, out))
 }

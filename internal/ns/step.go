@@ -42,31 +42,29 @@ func (s *Solver) Step() (StepStats, error) {
 	cflDt, rate := s.cflLimit()
 	st.CFL = rate * cfg.Dt // convective CFL of the full step
 	// Histories: index 0 is u^{n-1} (current U before this step completes).
-	hist := make([][3][]float64, 0, order)
-	hist = append(hist, s.U)
+	hist := append(s.histBuf[:0], s.U)
 	hist = append(hist, s.Uh...)
-	utils := make([][3][]float64, order)
+	utils := s.utilArena[:order]
 	totalSub := 0
 	for q := 1; q <= order; q++ {
-		ut, nsub := s.advect(hist[q-1], float64(q)*cfg.Dt, cflDt, hist)
-		utils[q-1] = ut
-		totalSub += nsub
+		totalSub += s.advectInto(utils[q-1], hist[q-1], float64(q)*cfg.Dt, cflDt, hist)
 	}
 	st.Substeps = totalSub
 
 	// Scalar transport (advanced first so buoyancy uses T^n ≈ explicit ũT).
 	var tTil [][]float64
 	if cfg.Scalar != nil {
-		tHist := make([][]float64, 0, order)
-		tHist = append(tHist, s.T)
+		tHist := append(s.tHistBuf[:0], s.T)
 		tHist = append(tHist, s.Th...)
-		tTil = make([][]float64, order)
+		tTil = s.tTilArena[:order]
 		for q := 1; q <= order; q++ {
-			tTil[q-1] = s.advectScalar(tHist[q-1], float64(q)*cfg.Dt, cflDt, hist)
+			s.advectScalarInto(tTil[q-1], tHist[q-1], float64(q)*cfg.Dt, cflDt, hist)
 		}
 	}
 	s.instr.convect.End(tConv)
-	spConv.EndWith(map[string]any{"substeps": totalSub})
+	if s.tracer != nil {
+		spConv.EndWith(map[string]any{"substeps": totalSub})
+	}
 	s.instr.substeps.Add(int64(totalSub))
 	s.instr.cfl.Set(st.CFL)
 
@@ -76,20 +74,16 @@ func (s *Solver) Step() (StepStats, error) {
 	st.ViscousConverged = true
 	h1 := 1.0 / cfg.Re
 	h2 := beta / cfg.Dt
-	diag := s.D.HelmholtzDiag(h1, h2)
-	jacobi := func(out, in []float64) {
-		for i := range in {
-			out[i] = in[i] / diag[i]
-		}
-	}
+	s.helmholtzDiagV(h1, h2)
+	s.curH1, s.curH2 = h1, h2
 	// Pressure gradient of p^{n-1} (incremental splitting).
-	gp := [][]float64{s.scr[3], s.scr[4], s.scr[5]}
+	gp := s.scr345
 	s.GradientT(gp[:s.dim], s.P)
 
-	ustar := [3][]float64{make([]float64, s.n), make([]float64, s.n), make([]float64, s.n)}
+	ustar := s.ustar
 	m := s.M
 	for c := 0; c < s.dim; c++ {
-		b := make([]float64, s.n)
+		b := s.bArena
 		for i := 0; i < s.n; i++ {
 			var sum float64
 			for q := 0; q < order; q++ {
@@ -123,7 +117,7 @@ func (s *Solver) Step() (StepStats, error) {
 		u := ustar[c]
 		copy(u, s.U[c])
 		s.setDirichletComponent(u, c, tNew)
-		hu := make([]float64, s.n)
+		hu := s.huArena
 		s.D.Helmholtz(hu, u, h1, h2)
 		for i := range b {
 			b[i] -= hu[i]
@@ -133,11 +127,14 @@ func (s *Solver) Step() (StepStats, error) {
 				b[i] *= mk
 			}
 		}
-		du := make([]float64, s.n)
-		stats := solver.CG(func(out, in []float64) { s.D.Helmholtz(out, in, h1, h2) },
-			s.D.Dot, du, b, solver.Options{Tol: cfg.VTol, Relative: true, MaxIter: 1000, Precond: jacobi,
+		du := s.duArena
+		for i := range du {
+			du[i] = 0
+		}
+		stats := solver.CG(s.helmOp,
+			s.D.Dot, du, b, solver.Options{Tol: cfg.VTol, Relative: true, MaxIter: 1000, Precond: s.jacobi,
 				Time: s.instr.viscousCG, Iters: s.instr.viscousIters,
-				Tracer: s.tracer, TraceName: "helmholtz.cg"})
+				Tracer: s.tracer, TraceName: "helmholtz.cg", Scratch: s.cgScratch})
 		if !stats.Converged {
 			st.ViscousConverged = false
 		}
@@ -156,7 +153,7 @@ func (s *Solver) Step() (StepStats, error) {
 	// --- Pressure correction: E δp = -(β/Δt) D u*. ---
 	tPres := s.instr.pressure.Begin()
 	spPres := s.tracer.Begin(instrument.PidWall, 0, "ns/pressure", "ns")
-	rp := make([]float64, m.K*s.npp)
+	rp := s.rpArena
 	s.Divergence(rp, ustar)
 	for i := range rp {
 		rp[i] *= -h2
@@ -164,12 +161,16 @@ func (s *Solver) Step() (StepStats, error) {
 	if s.enclosed {
 		s.deflatePressure(rp)
 	}
-	dp := make([]float64, len(rp))
-	popt := solver.Options{Tol: cfg.PTol, MaxIter: cfg.PMaxIter, History: true,
+	dp := s.dpArena
+	for i := range dp {
+		dp[i] = 0
+	}
+	popt := solver.Options{Tol: cfg.PTol, MaxIter: cfg.PMaxIter, History: s.history != nil,
 		Time: s.instr.pressureCG, Iters: s.instr.pressureIters,
-		Tracer: s.tracer, TraceName: "pressure.cg", Converged: s.instr.pressConv}
+		Tracer: s.tracer, TraceName: "pressure.cg", Converged: s.instr.pressConv,
+		Scratch: s.cgScratch}
 	if s.pPre != nil {
-		popt.Precond = func(out, in []float64) { s.pressurePrecond(out, in) }
+		popt.Precond = s.pPrecondOp
 	}
 	var pstats solver.Stats
 	if s.projector != nil {
@@ -187,7 +188,7 @@ func (s *Solver) Step() (StepStats, error) {
 	}
 
 	// --- Velocity update: u^n = u* + (Δt/β) M B̃⁻¹ QQᵀ Dᵀ δp. ---
-	gdp := [][]float64{s.scr[3], s.scr[4], s.scr[5]}
+	gdp := s.scr345
 	s.GradientT(gdp[:s.dim], dp)
 	for c := 0; c < s.dim; c++ {
 		g := gdp[c]
@@ -199,7 +200,9 @@ func (s *Solver) Step() (StepStats, error) {
 		}
 	}
 	s.instr.pressure.End(tPres)
-	spPres.EndWith(map[string]any{"iterations": pstats.Iterations, "converged": pstats.Converged})
+	if s.tracer != nil {
+		spPres.EndWith(map[string]any{"iterations": pstats.Iterations, "converged": pstats.Converged})
+	}
 
 	// --- Scalar Helmholtz solve. ---
 	if cfg.Scalar != nil {
@@ -239,24 +242,38 @@ func (s *Solver) Step() (StepStats, error) {
 	}
 	s.instr.filter.End(tFilt)
 	spFilt.End()
-	// History rotation keeps up to Order-1 previous velocities.
+	// History rotation keeps up to Order-1 previous velocities. The ring
+	// reuses the retired oldest entry's arrays once the window is full, so
+	// steady-state rotation allocates nothing.
 	keep := cfg.Order - 1
 	if keep > 0 {
-		prev := [3][]float64{
-			append([]float64(nil), s.U[0]...),
-			append([]float64(nil), s.U[1]...),
-			append([]float64(nil), s.U[2]...),
-		}
-		s.Uh = append([][3][]float64{prev}, s.Uh...)
-		if len(s.Uh) > keep {
-			s.Uh = s.Uh[:keep]
-		}
-		if s.T != nil {
-			tprev := append([]float64(nil), s.T...)
-			s.Th = append([][]float64{tprev}, s.Th...)
-			if len(s.Th) > keep {
-				s.Th = s.Th[:keep]
+		var prev [3][]float64
+		if len(s.Uh) >= keep {
+			prev = s.Uh[len(s.Uh)-1]
+			s.Uh = s.Uh[:len(s.Uh)-1]
+		} else {
+			for c := 0; c < 3; c++ {
+				prev[c] = make([]float64, s.n)
 			}
+		}
+		for c := 0; c < 3; c++ {
+			copy(prev[c], s.U[c])
+		}
+		s.Uh = append(s.Uh, [3][]float64{})
+		copy(s.Uh[1:], s.Uh)
+		s.Uh[0] = prev
+		if s.T != nil {
+			var tprev []float64
+			if len(s.Th) >= keep {
+				tprev = s.Th[len(s.Th)-1]
+				s.Th = s.Th[:len(s.Th)-1]
+			} else {
+				tprev = make([]float64, s.n)
+			}
+			copy(tprev, s.T)
+			s.Th = append(s.Th, nil)
+			copy(s.Th[1:], s.Th)
+			s.Th[0] = tprev
 		}
 	}
 	for c := 0; c < s.dim; c++ {
@@ -281,7 +298,7 @@ func (s *Solver) Step() (StepStats, error) {
 		}
 	}
 	if s.history != nil {
-		div := make([]float64, m.K*s.npp)
+		div := s.divArena
 		s.Divergence(div, s.U)
 		var maxDiv float64
 		for _, v := range div {
@@ -344,12 +361,9 @@ func (s *Solver) cflLimit() (dt float64, rate float64) {
 	return s.Cfg.SubCFL / rate, rate
 }
 
-// advect integrates dv/dt = -(c·∇)v backward-started at u0 over an
-// interval of length tau ending at the new time level, using RK4 substeps
-// bounded by the CFL limit. The advecting field c(τ) is the Lagrange
-// interpolant/extrapolant of the velocity history. Returns ũ and the
-// substep count.
-func (s *Solver) advect(u0 [3][]float64, tau, cflDt float64, hist [][3][]float64) ([3][]float64, int) {
+// substepCount returns the CFL-bounded RK4 substep count for an interval of
+// length tau.
+func substepCount(tau, cflDt float64) int {
 	nsub := 1
 	if !math.IsInf(cflDt, 1) {
 		nsub = int(math.Ceil(tau / cflDt))
@@ -360,48 +374,49 @@ func (s *Solver) advect(u0 [3][]float64, tau, cflDt float64, hist [][3][]float64
 	if nsub > 2000 {
 		nsub = 2000
 	}
+	return nsub
+}
+
+// advectInto integrates dv/dt = -(c·∇)v backward-started at u0 over an
+// interval of length tau ending at the new time level, using RK4 substeps
+// bounded by the CFL limit, writing ũ into the caller's v (first dim
+// components, each length n). The advecting field c(τ) is the Lagrange
+// interpolant/extrapolant of the velocity history. Returns the substep
+// count.
+func (s *Solver) advectInto(v [3][]float64, u0 [3][]float64, tau, cflDt float64, hist [][3][]float64) int {
+	nsub := substepCount(tau, cflDt)
 	h := tau / float64(nsub)
-	v := [3][]float64{}
 	for c := 0; c < s.dim; c++ {
-		v[c] = append([]float64(nil), u0[c]...)
+		copy(v[c], u0[c])
 	}
 	// Times of history fields relative to the new time level tNew:
 	// hist[k] is at t = -(k+1)*Dt; the integration runs from -tau to 0.
+	fields := s.rkFields[:s.dim]
+	for c := 0; c < s.dim; c++ {
+		fields[c] = v[c]
+	}
 	for sub := 0; sub < nsub; sub++ {
 		t0 := -tau + float64(sub)*h
-		s.rk4Advect([][]float64{v[0], v[1], v[2]}, t0, h, hist)
+		s.rk4AdvectFields(fields, t0, h, hist)
 		// Keep the field C0 across element boundaries (mass-weighted
 		// average, the direct-stiffness form of the convective update).
 		for c := 0; c < s.dim; c++ {
 			s.massAverage(v[c])
 		}
 	}
-	return v, nsub
+	return nsub
 }
 
-// advectScalar is the scalar version of advect.
-func (s *Solver) advectScalar(t0f []float64, tau, cflDt float64, hist [][3][]float64) []float64 {
-	nsub := 1
-	if !math.IsInf(cflDt, 1) {
-		nsub = int(math.Ceil(tau / cflDt))
-		if nsub < 1 {
-			nsub = 1
-		}
-	}
-	if nsub > 2000 {
-		nsub = 2000
-	}
+// advectScalarInto is the scalar version of advectInto.
+func (s *Solver) advectScalarInto(v, t0f []float64, tau, cflDt float64, hist [][3][]float64) {
+	nsub := substepCount(tau, cflDt)
 	h := tau / float64(nsub)
-	v := append([]float64(nil), t0f...)
+	copy(v, t0f)
+	fields := s.rkFields[:1]
+	fields[0] = v
 	for sub := 0; sub < nsub; sub++ {
 		t0 := -tau + float64(sub)*h
-		s.rk4AdvectFields([][]float64{v}, t0, h, hist)
+		s.rk4AdvectFields(fields, t0, h, hist)
 		s.massAverage(v)
 	}
-	return v
-}
-
-// rk4Advect advances the velocity components through one RK4 substep.
-func (s *Solver) rk4Advect(v [][]float64, t0, h float64, hist [][3][]float64) {
-	s.rk4AdvectFields(v[:s.dim], t0, h, hist)
 }

@@ -66,7 +66,19 @@ type Precond struct {
 	pWeights  [][]float64 // [corner][localNode]
 	dirichVtx []bool
 
-	work1, work2 []float64
+	// Per-worker scratch for the element-parallel FDM local solves (one
+	// slice per Disc worker), sized to the largest WorkLen of any element.
+	work [][]float64
+	// Prebuilt ForElements bodies (allocated once here, not per Apply) and
+	// the vectors they act on during a call.
+	loop2, loop3 func(e, w int)
+	aout, ain    []float64
+	// Preallocated coarse-solve buffers and the inverse fill-reducing
+	// permutation (Apply must not allocate in steady state).
+	r0, rp, x0 []float64
+	invPerm    []int
+	// Preallocated FEM-path buffers.
+	rg, og, rs []float64
 
 	// Instrumentation (nil = off): local subdomain solves vs. the coarse
 	// component of each Apply.
@@ -110,12 +122,34 @@ func New(d *sem.Disc, opt Options) (*Precond, error) {
 			return nil, err
 		}
 	}
-	nw := 2 * m.Np
-	if m.Dim == 3 {
-		nw = 4 * m.Np
+	nw := 0
+	for _, s := range p.fdm2 {
+		if l := s.WorkLen2D(); l > nw {
+			nw = l
+		}
 	}
-	p.work1 = make([]float64, nw)
-	p.work2 = make([]float64, m.Np)
+	for _, s := range p.fdm3 {
+		if l := s.WorkLen3D(); l > nw {
+			nw = l
+		}
+	}
+	workers := d.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	p.work = make([][]float64, workers)
+	for w := range p.work {
+		p.work[w] = make([]float64, nw)
+	}
+	np := m.Np
+	p.loop2 = func(e, w int) {
+		p.fdm2[e].Apply(p.aout[e*np:(e+1)*np], p.ain[e*np:(e+1)*np], p.work[w])
+		d.CountFlops(p.fdm2[e].Flops())
+	}
+	p.loop3 = func(e, w int) {
+		p.fdm3[e].Apply(p.aout[e*np:(e+1)*np], p.ain[e*np:(e+1)*np], p.work[w])
+		d.CountFlops(p.fdm3[e].Flops())
+	}
 	return p, nil
 }
 
@@ -303,6 +337,15 @@ func (p *Precond) setupFEM() error {
 			p.uncovDiag[g] = 1 / diag[g]
 		}
 	}
+	p.rg = make([]float64, m.NGlobal)
+	p.og = make([]float64, m.NGlobal)
+	maxSub := 0
+	for _, idx := range p.subIdx {
+		if len(idx) > maxSub {
+			maxSub = len(idx)
+		}
+	}
+	p.rs = make([]float64, maxSub)
 	return nil
 }
 
@@ -386,6 +429,10 @@ func (p *Precond) setupCoarse() error {
 	}
 	p.coarse = fac
 	p.coarsePU = perm
+	p.invPerm = la.InvPerm(perm)
+	p.r0 = make([]float64, m.NVert)
+	p.rp = make([]float64, m.NVert)
+	p.x0 = make([]float64, m.NVert)
 	// Prolongation weights per corner per local node.
 	nc := 1 << m.Dim
 	p.pWeights = make([][]float64, nc)
@@ -446,34 +493,34 @@ func (p *Precond) Apply(out, r []float64) {
 	sp := p.tracer.Begin(instrument.PidWall, 0, "schwarz/local", "precond")
 	switch p.opt.Method {
 	case FDM:
+		// Element subdomains are disjoint in out, so the local solves run on
+		// the Disc worker pool with per-worker scratch; work assignment is
+		// deterministic and each entry is written once, so the result is
+		// bitwise independent of the worker count. The loop bodies are built
+		// once in New so steady-state Apply allocates nothing.
+		p.aout, p.ain = out, r
 		if m.Dim == 2 {
-			for e := 0; e < m.K; e++ {
-				blk := r[e*m.Np : (e+1)*m.Np]
-				p.fdm2[e].Apply(p.work2, blk, p.work1)
-				copy(out[e*m.Np:(e+1)*m.Np], p.work2)
-				d.CountFlops(p.fdm2[e].Flops())
-			}
+			d.ForElements(p.loop2)
 		} else {
-			for e := 0; e < m.K; e++ {
-				blk := r[e*m.Np : (e+1)*m.Np]
-				if len(p.work1) < p.fdm3[e].WorkLen3D() {
-					p.work1 = make([]float64, p.fdm3[e].WorkLen3D())
-				}
-				p.fdm3[e].Apply(p.work2, blk, p.work1)
-				copy(out[e*m.Np:(e+1)*m.Np], p.work2)
-				d.CountFlops(p.fdm3[e].Flops())
-			}
+			d.ForElements(p.loop3)
 		}
+		p.aout, p.ain = nil, nil
 	case FEM:
-		rg := globalOnce(d, r)
-		og := make([]float64, m.NGlobal)
+		rg := p.rg
+		for i, gid := range m.GID {
+			rg[gid] = r[i]
+		}
+		og := p.og
+		for i := range og {
+			og[i] = 0
+		}
 		for e := 0; e < m.K; e++ {
 			idx := p.subIdx[e]
 			if idx == nil {
 				continue
 			}
 			n := len(idx)
-			rs := make([]float64, n)
+			rs := p.rs[:n]
 			for i, g := range idx {
 				rs[i] = rg[g]
 			}
@@ -525,7 +572,10 @@ func (p *Precond) applyCoarse(out, r []float64) {
 	d := p.d
 	m := d.M
 	nv := m.NVert
-	r0 := make([]float64, nv)
+	r0 := p.r0
+	for i := range r0 {
+		r0[i] = 0
+	}
 	nc := 1 << m.Dim
 	// R₀ = Pᵀ W with W = diag(1/multiplicity): restrict the residual.
 	for e := 0; e < m.K; e++ {
@@ -547,14 +597,13 @@ func (p *Precond) applyCoarse(out, r []float64) {
 		}
 	}
 	// Coarse solve (with the fill-reducing permutation).
-	perm := p.coarsePU
-	rp := make([]float64, nv)
-	inv := la.InvPerm(perm)
+	rp := p.rp
+	inv := p.invPerm
 	for old := 0; old < nv; old++ {
 		rp[inv[old]] = r0[old]
 	}
 	p.coarse.Solve(rp, rp)
-	x0 := make([]float64, nv)
+	x0 := p.x0
 	for old := 0; old < nv; old++ {
 		x0[old] = rp[inv[old]]
 	}

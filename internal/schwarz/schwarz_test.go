@@ -333,3 +333,46 @@ func TestOptionsValidation(t *testing.T) {
 		t.Error("unknown method should be rejected")
 	}
 }
+
+// The FDM local solves now run on the element worker pool; with any worker
+// count the preconditioner must be bitwise identical to workers=1 (element
+// blocks are disjoint and each written once), and steady-state Apply must
+// not allocate.
+func TestFDMApplyParallelBitwiseAndAllocFree(t *testing.T) {
+	spec := mesh.Box2D(mesh.Box2DSpec{Nx: 4, Ny: 4, X0: 0, X1: 1, Y0: 0, Y1: 1})
+	m, err := mesh.Discretize(spec, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1 := sem.New(m, m.BoundaryMask(nil), 1)
+	d4 := sem.New(m, m.BoundaryMask(nil), 4)
+	n := m.K * m.Np
+	r := make([]float64, n)
+	for i := range r {
+		r[i] = math.Sin(5*m.X[i]) * math.Cos(4*m.Y[i])
+	}
+	d1.Assemble(r)
+	r4 := make([]float64, n)
+	copy(r4, r)
+	p1, err := New(d1, Options{Method: FDM, UseCoarse: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p4, err := New(d4, Options{Method: FDM, UseCoarse: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o1 := make([]float64, n)
+	o4 := make([]float64, n)
+	p1.Apply(o1, r)
+	p4.Apply(o4, r4)
+	for i := range o1 {
+		if o1[i] != o4[i] {
+			t.Fatalf("workers=4 Apply differs at %d: %g vs %g", i, o4[i], o1[i])
+		}
+	}
+	allocs := testing.AllocsPerRun(5, func() { p1.Apply(o1, r) })
+	if allocs > 0 {
+		t.Errorf("steady-state Apply allocated %v times, want 0", allocs)
+	}
+}

@@ -32,7 +32,24 @@ type Disc struct {
 
 	Dt      []float64 // transpose of the 1D derivative matrix
 	flops   atomic.Int64
-	scratch [][]float64 // per-worker scratch, each 4*Np (2D) / 6*Np (3D)
+	scratch [][]float64 // per-worker scratch, each 6*Np (2D) / 9*Np (3D)
+	// scratchPool hands out extra scratch slices (*[]float64, same size as
+	// the per-worker ones) to entry points that may run concurrently on one
+	// Disc outside the worker pool (StiffnessElement).
+	scratchPool sync.Pool
+
+	// Prebuilt forElements bodies for the per-iteration operators, so the
+	// steady-state hot path allocates no closures. The cur* fields carry the
+	// operands during one call; the operators were never safe for concurrent
+	// calls on one Disc (shared per-worker scratch), so this adds no new
+	// restriction.
+	stiffLoop  func(e, w int)
+	gradLoop   func(e, w int)
+	filterLoop func(e, w int)
+	curOut     []float64
+	curIn      []float64
+	curOuts    [][]float64
+	curFilter  *Filter
 }
 
 // New builds the operator set. mask may be nil (pure Neumann / periodic).
@@ -50,6 +67,20 @@ func New(m *mesh.Mesh, mask []float64, workers int) *Disc {
 	for w := range d.scratch {
 		d.scratch[w] = make([]float64, ns*m.Np)
 	}
+	d.scratchPool.New = func() any {
+		s := make([]float64, ns*m.Np)
+		return &s
+	}
+	np := m.Np
+	d.stiffLoop = func(e, w int) {
+		d.stiffnessOneElement(d.curOut[e*np:(e+1)*np], d.curIn[e*np:(e+1)*np], e, d.scratch[w])
+	}
+	d.gradLoop = func(e, w int) {
+		d.gradOneElement(d.curOuts, d.curIn, e, d.scratch[w])
+	}
+	d.filterLoop = func(e, w int) {
+		d.filterOneElement(d.curFilter, d.curIn, e, d.scratch[w])
+	}
 	return d
 }
 
@@ -63,8 +94,14 @@ func (d *Disc) ResetFlops() { d.flops.Store(0) }
 // CountFlops adds externally-performed work to the meter.
 func (d *Disc) CountFlops(n int64) { d.flops.Add(n) }
 
-// forElements runs fn(e, worker) over all elements, split across the worker
+// ForElements runs fn(e, worker) over all elements, split across the worker
 // pool — the shared-memory analogue of the paper's dual-processor mode.
+// Callers that need scratch must index it by the worker id w (in
+// [0, Workers)); element blocks are disjoint, so loops that only write their
+// own element's output are deterministic for any worker count.
+func (d *Disc) ForElements(fn func(e, w int)) { d.forElements(fn) }
+
+// forElements is the internal form of ForElements.
 func (d *Disc) forElements(fn func(e, w int)) {
 	k := d.M.K
 	if d.Workers == 1 || k < 2 {
@@ -101,54 +138,14 @@ func (d *Disc) StiffnessLocal(out, u []float64) {
 	m := d.M
 	np1 := m.N + 1
 	np := m.Np
+	d.curOut, d.curIn = out, u
+	d.forElements(d.stiffLoop)
+	d.curOut, d.curIn = nil, nil
 	if m.Dim == 2 {
-		d.forElements(func(e, w int) {
-			s := d.scratch[w]
-			ur, us := s[:np], s[np:2*np]
-			tr, ts := s[2*np:3*np], s[3*np:4*np]
-			ue := u[e*np : (e+1)*np]
-			tensor.ApplyR2D(ur, m.D, ue, np1, np1, np1)
-			tensor.ApplyS2D(us, m.D, ue, np1, np1, np1)
-			g0, g1, g2 := m.G[0][e*np:], m.G[1][e*np:], m.G[2][e*np:]
-			for i := 0; i < np; i++ {
-				tr[i] = g0[i]*ur[i] + g1[i]*us[i]
-				ts[i] = g1[i]*ur[i] + g2[i]*us[i]
-			}
-			oe := out[e*np : (e+1)*np]
-			tensor.ApplyR2D(oe, d.Dt, tr, np1, np1, np1)
-			tensor.ApplyS2D(us, d.Dt, ts, np1, np1, np1) // reuse us as buffer
-			for i := 0; i < np; i++ {
-				oe[i] += us[i]
-			}
-		})
 		// 4 tensor ops (2N³ each... here 2·np1³) + 6np pointwise + np add.
 		d.flops.Add(int64(m.K) * (4*2*int64(np1)*int64(np1)*int64(np1) + 7*int64(np)))
 		return
 	}
-	d.forElements(func(e, w int) {
-		s := d.scratch[w]
-		ur, us, ut := s[:np], s[np:2*np], s[2*np:3*np]
-		tr, ts, tt := s[3*np:4*np], s[4*np:5*np], s[5*np:6*np]
-		ue := u[e*np : (e+1)*np]
-		tensor.ApplyR3D(ur, m.D, ue, np1, np1, np1, np1)
-		tensor.ApplyS3D(us, m.D, ue, np1, np1, np1, np1)
-		tensor.ApplyT3D(ut, m.D, ue, np1, np1, np1, np1)
-		g := m.G
-		off := e * np
-		for i := 0; i < np; i++ {
-			r, sv, tv := ur[i], us[i], ut[i]
-			tr[i] = g[0][off+i]*r + g[1][off+i]*sv + g[2][off+i]*tv
-			ts[i] = g[1][off+i]*r + g[3][off+i]*sv + g[4][off+i]*tv
-			tt[i] = g[2][off+i]*r + g[4][off+i]*sv + g[5][off+i]*tv
-		}
-		oe := out[e*np : (e+1)*np]
-		tensor.ApplyR3D(oe, d.Dt, tr, np1, np1, np1, np1)
-		tensor.ApplyS3D(us, d.Dt, ts, np1, np1, np1, np1)
-		tensor.ApplyT3D(ut, d.Dt, tt, np1, np1, np1, np1)
-		for i := 0; i < np; i++ {
-			oe[i] += us[i] + ut[i]
-		}
-	})
 	// The paper's count: 12N⁴ + 15N³ per element (here with N+1 = np1).
 	n4 := int64(np1) * int64(np1) * int64(np1) * int64(np1)
 	d.flops.Add(int64(m.K) * (12*n4 + 17*int64(np)))
@@ -280,40 +277,46 @@ func (d *Disc) Grad(outs [][]float64, u []float64) {
 	m := d.M
 	np1 := m.N + 1
 	np := m.Np
+	d.curOuts, d.curIn = outs, u
+	d.forElements(d.gradLoop)
+	d.curOuts, d.curIn = nil, nil
 	if m.Dim == 2 {
-		d.forElements(func(e, w int) {
-			s := d.scratch[w]
-			ur, us := s[:np], s[np:2*np]
-			ue := u[e*np : (e+1)*np]
-			tensor.ApplyR2D(ur, m.D, ue, np1, np1, np1)
-			tensor.ApplyS2D(us, m.D, ue, np1, np1, np1)
-			off := e * np
-			rx, ry, sx, sy := m.RX[0], m.RX[1], m.RX[2], m.RX[3]
-			for i := 0; i < np; i++ {
-				outs[0][off+i] = rx[off+i]*ur[i] + sx[off+i]*us[i]
-				outs[1][off+i] = ry[off+i]*ur[i] + sy[off+i]*us[i]
-			}
-		})
 		d.flops.Add(int64(m.K) * (2*2*int64(np1)*int64(np1)*int64(np1) + 6*int64(np)))
 		return
 	}
-	d.forElements(func(e, w int) {
-		s := d.scratch[w]
-		ur, us, ut := s[:np], s[np:2*np], s[2*np:3*np]
-		ue := u[e*np : (e+1)*np]
-		tensor.ApplyR3D(ur, m.D, ue, np1, np1, np1, np1)
-		tensor.ApplyS3D(us, m.D, ue, np1, np1, np1, np1)
-		tensor.ApplyT3D(ut, m.D, ue, np1, np1, np1, np1)
-		off := e * np
-		for i := 0; i < np; i++ {
-			gi := off + i
-			outs[0][gi] = m.RX[0][gi]*ur[i] + m.RX[3][gi]*us[i] + m.RX[6][gi]*ut[i]
-			outs[1][gi] = m.RX[1][gi]*ur[i] + m.RX[4][gi]*us[i] + m.RX[7][gi]*ut[i]
-			outs[2][gi] = m.RX[2][gi]*ur[i] + m.RX[5][gi]*us[i] + m.RX[8][gi]*ut[i]
-		}
-	})
 	n4 := int64(np1) * int64(np1) * int64(np1) * int64(np1)
 	d.flops.Add(int64(m.K) * (3*2*n4 + 15*int64(np)))
+}
+
+// gradOneElement computes element e's physical-space gradient using the
+// supplied scratch.
+func (d *Disc) gradOneElement(outs [][]float64, u []float64, e int, s []float64) {
+	m := d.M
+	np1 := m.N + 1
+	np := m.Np
+	ue := u[e*np : (e+1)*np]
+	off := e * np
+	if m.Dim == 2 {
+		ur, us := s[:np], s[np:2*np]
+		tensor.ApplyR2D(ur, m.D, ue, np1, np1, np1)
+		tensor.ApplyS2D(us, m.D, ue, np1, np1, np1)
+		rx, ry, sx, sy := m.RX[0], m.RX[1], m.RX[2], m.RX[3]
+		for i := 0; i < np; i++ {
+			outs[0][off+i] = rx[off+i]*ur[i] + sx[off+i]*us[i]
+			outs[1][off+i] = ry[off+i]*ur[i] + sy[off+i]*us[i]
+		}
+		return
+	}
+	ur, us, ut := s[:np], s[np:2*np], s[2*np:3*np]
+	tensor.ApplyR3D(ur, m.D, ue, np1, np1, np1, np1)
+	tensor.ApplyS3D(us, m.D, ue, np1, np1, np1, np1)
+	tensor.ApplyT3D(ut, m.D, ue, np1, np1, np1, np1)
+	for i := 0; i < np; i++ {
+		gi := off + i
+		outs[0][gi] = m.RX[0][gi]*ur[i] + m.RX[3][gi]*us[i] + m.RX[6][gi]*ut[i]
+		outs[1][gi] = m.RX[1][gi]*ur[i] + m.RX[4][gi]*us[i] + m.RX[7][gi]*ut[i]
+		outs[2][gi] = m.RX[2][gi]*ur[i] + m.RX[5][gi]*us[i] + m.RX[8][gi]*ut[i]
+	}
 }
 
 // Dot is the inner product for element-local redundant storage: each global
@@ -390,29 +393,34 @@ func (d *Disc) ApplyFilter(f *Filter, u []float64) {
 	}
 	m := d.M
 	np1 := f.np1
-	np := m.Np
+	d.curFilter, d.curIn = f, u
+	d.forElements(d.filterLoop)
+	d.curFilter, d.curIn = nil, nil
 	if m.Dim == 2 {
-		d.forElements(func(e, w int) {
-			s := d.scratch[w]
-			work, out := s[:np], s[np:2*np]
-			ue := u[e*np : (e+1)*np]
-			tensor.Apply2D(out, f.F, f.F, ue, work, np1, np1, np1, np1)
-			copy(ue, out)
-		})
 		d.flops.Add(int64(m.K) * 2 * 2 * int64(np1) * int64(np1) * int64(np1))
 		return
 	}
-	d.forElements(func(e, w int) {
-		s := d.scratch[w]
-		need := tensor.Work3DLen(np1, np1, np1, np1, np1, np1)
-		work := s[:need]
-		out := s[need : need+np]
-		ue := u[e*np : (e+1)*np]
-		tensor.Apply3D(out, f.F, f.F, f.F, ue, work, np1, np1, np1, np1, np1, np1)
-		copy(ue, out)
-	})
 	n4 := int64(np1) * int64(np1) * int64(np1) * int64(np1)
 	d.flops.Add(int64(m.K) * 3 * 2 * n4)
+}
+
+// filterOneElement applies the tensor-product filter to element e in place.
+func (d *Disc) filterOneElement(f *Filter, u []float64, e int, s []float64) {
+	m := d.M
+	np1 := f.np1
+	np := m.Np
+	ue := u[e*np : (e+1)*np]
+	if m.Dim == 2 {
+		work, out := s[:np], s[np:2*np]
+		tensor.Apply2D(out, f.F, f.F, ue, work, np1, np1, np1, np1)
+		copy(ue, out)
+		return
+	}
+	need := tensor.Work3DLen(np1, np1, np1, np1, np1, np1)
+	work := s[:need]
+	out := s[need : need+np]
+	tensor.Apply3D(out, f.F, f.F, f.F, ue, work, np1, np1, np1, np1, np1, np1)
+	copy(ue, out)
 }
 
 // BuildAssembledCSR materializes the assembled, masked stiffness operator as
@@ -437,8 +445,8 @@ func (d *Disc) BuildAssembledCSR() *la.CSR {
 			}
 		}
 	}
-	single := &Disc{M: m, GS: d.GS, Workers: 1, Dt: d.Dt,
-		scratch: [][]float64{make([]float64, len(d.scratch[0]))}}
+	sp := d.scratchPool.Get().(*[]float64)
+	defer d.scratchPool.Put(sp)
 	for e := 0; e < m.K; e++ {
 		for j := 0; j < np; j++ {
 			for i := range ue {
@@ -446,7 +454,7 @@ func (d *Disc) BuildAssembledCSR() *la.CSR {
 			}
 			ue[j] = 1
 			// Apply the single-element stiffness.
-			single.stiffnessOneElement(oe, ue, e)
+			d.stiffnessOneElement(oe, ue, e, *sp)
 			gj := m.GID[e*np+j]
 			for i := 0; i < np; i++ {
 				if oe[i] == 0 {
@@ -469,19 +477,20 @@ func (d *Disc) BuildAssembledCSR() *la.CSR {
 }
 
 // StiffnessElement applies element e's stiffness matrix to the local nodal
-// vector ue (length Np), writing into oe. It uses the worker-0 scratch and
-// is therefore not safe for concurrent use on one Disc; give each goroutine
-// its own Disc.
+// vector ue (length Np), writing into oe. Scratch comes from an internal
+// pool, so it is safe to call concurrently on one Disc from many goroutines.
 func (d *Disc) StiffnessElement(oe, ue []float64, e int) {
-	d.stiffnessOneElement(oe, ue, e)
+	sp := d.scratchPool.Get().(*[]float64)
+	d.stiffnessOneElement(oe, ue, e, *sp)
+	d.scratchPool.Put(sp)
 }
 
-// stiffnessOneElement applies element e's stiffness to the local vector ue.
-func (d *Disc) stiffnessOneElement(oe, ue []float64, e int) {
+// stiffnessOneElement applies element e's stiffness to the local vector ue,
+// using the caller-supplied scratch s (length ≥ 6*Np in 2D, 9*Np in 3D).
+func (d *Disc) stiffnessOneElement(oe, ue []float64, e int, s []float64) {
 	m := d.M
 	np1 := m.N + 1
 	np := m.Np
-	s := d.scratch[0]
 	if m.Dim == 2 {
 		ur, us := s[:np], s[np:2*np]
 		tr, ts := s[2*np:3*np], s[3*np:4*np]

@@ -2,6 +2,7 @@ package sem
 
 import (
 	"math"
+	"sync"
 	"testing"
 
 	"repro/internal/mesh"
@@ -436,5 +437,40 @@ func TestFlopCounteradvances(t *testing.T) {
 	d.CountFlops(100)
 	if d.Flops() != before+100 {
 		t.Error("CountFlops broken")
+	}
+}
+
+// StiffnessElement draws scratch from a pool, so many goroutines may hammer
+// one Disc concurrently; the results must still match the serial local
+// stiffness bitwise. Run under -race to exercise the hazard this replaces.
+func TestStiffnessElementConcurrent(t *testing.T) {
+	d := boxDisc(t, 4, 4, 7, 2)
+	m := d.M
+	np := m.Np
+	n := m.K * np
+	u := make([]float64, n)
+	for i := range u {
+		u[i] = math.Sin(2*m.X[i]) + math.Cos(3*m.Y[i])
+	}
+	want := make([]float64, n)
+	d.StiffnessLocal(want, u)
+
+	got := make([]float64, n)
+	const gor = 8
+	var wg sync.WaitGroup
+	for g := 0; g < gor; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for e := g; e < m.K; e += gor {
+				d.StiffnessElement(got[e*np:(e+1)*np], u[e*np:(e+1)*np], e)
+			}
+		}(g)
+	}
+	wg.Wait()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("concurrent StiffnessElement differs at %d: %g vs %g", i, got[i], want[i])
+		}
 	}
 }

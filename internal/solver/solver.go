@@ -51,6 +51,29 @@ type Options struct {
 	// interleave).
 	Tracer    *instrument.Tracer
 	TraceName string
+
+	// Scratch, when non-nil, supplies the four CG work vectors so repeated
+	// solves (e.g. one per time step) allocate nothing. A Scratch must not
+	// be shared by solves running concurrently.
+	Scratch *Scratch
+}
+
+// Scratch holds the CG work vectors; it grows on demand and may be reused
+// across solves of different sizes.
+type Scratch struct {
+	r, z, p, q []float64
+}
+
+// vectors returns the four length-n work arrays, growing the backing
+// storage if needed.
+func (s *Scratch) vectors(n int) (r, z, p, q []float64) {
+	if cap(s.r) < n {
+		s.r = make([]float64, n)
+		s.z = make([]float64, n)
+		s.p = make([]float64, n)
+		s.q = make([]float64, n)
+	}
+	return s.r[:n], s.z[:n], s.p[:n], s.q[:n]
 }
 
 // CG solves A x = b by preconditioned conjugate gradients, starting from
@@ -66,11 +89,13 @@ func CG(apply Operator, dot Dot, x, b []float64, opt Options) Stats {
 		sp = opt.Tracer.Begin(instrument.PidWall, 0, name, "solver")
 	}
 	st := cg(apply, dot, x, b, opt)
-	sp.EndWith(map[string]any{
-		"iterations": st.Iterations,
-		"converged":  st.Converged,
-		"final_res":  st.FinalRes,
-	})
+	if opt.Tracer != nil {
+		sp.EndWith(map[string]any{
+			"iterations": st.Iterations,
+			"converged":  st.Converged,
+			"final_res":  st.FinalRes,
+		})
+	}
 	opt.Time.End(t0)
 	opt.Iters.Add(int64(st.Iterations))
 	if st.Converged {
@@ -83,10 +108,15 @@ func CG(apply Operator, dot Dot, x, b []float64, opt Options) Stats {
 
 func cg(apply Operator, dot Dot, x, b []float64, opt Options) Stats {
 	n := len(b)
-	r := make([]float64, n)
-	z := make([]float64, n)
-	p := make([]float64, n)
-	q := make([]float64, n)
+	var r, z, p, q []float64
+	if opt.Scratch != nil {
+		r, z, p, q = opt.Scratch.vectors(n)
+	} else {
+		r = make([]float64, n)
+		z = make([]float64, n)
+		p = make([]float64, n)
+		q = make([]float64, n)
+	}
 
 	// r = b - A x.
 	xNonZero := false
@@ -179,6 +209,13 @@ type Projector struct {
 	xs    [][]float64 // A-orthonormal basis
 	axs   [][]float64 // A·basis
 
+	// Allocation-free steady state: retired basis vectors go on a freelist
+	// for update() to reuse, and the per-solve work vectors live here.
+	free   [][]float64
+	alphas []float64
+	xbar   []float64
+	rhs    []float64
+
 	// Instrumentation (optional; nil handles no-op).
 	ProjectTime *instrument.Timer // projection + basis-update overhead
 	BasisSize   *instrument.Gauge // basis dimension used per solve
@@ -193,8 +230,25 @@ func NewProjector(l int, apply Operator, dot Dot) *Projector {
 // Len returns the current basis size.
 func (p *Projector) Len() int { return len(p.xs) }
 
-// Reset discards the basis.
-func (p *Projector) Reset() { p.xs, p.axs = nil, nil }
+// Reset discards the basis (the vectors are kept for reuse).
+func (p *Projector) Reset() {
+	p.free = append(p.free, p.xs...)
+	p.free = append(p.free, p.axs...)
+	p.xs, p.axs = p.xs[:0], p.axs[:0]
+}
+
+// grab returns a length-n work vector, reusing a retired basis vector when
+// one is available.
+func (p *Projector) grab(n int) []float64 {
+	if k := len(p.free); k > 0 {
+		v := p.free[k-1]
+		p.free = p.free[:k-1]
+		if cap(v) >= n {
+			return v[:n]
+		}
+	}
+	return make([]float64, n)
+}
 
 // ProjectAndSolve performs the full projected solve of A x = b:
 // project onto the basis, run CG on the perturbation, update the basis with
@@ -202,12 +256,21 @@ func (p *Projector) Reset() { p.xs, p.axs = nil, nil }
 func (p *Projector) ProjectAndSolve(x, b []float64, opt Options) Stats {
 	n := len(b)
 	t0 := p.ProjectTime.Begin()
-	alphas := make([]float64, len(p.xs))
+	if cap(p.alphas) < p.L {
+		p.alphas = make([]float64, p.L)
+	}
+	alphas := p.alphas[:len(p.xs)]
 	for k, xk := range p.xs {
 		alphas[k] = p.dot(xk, b)
 	}
-	xbar := make([]float64, n)
-	rhs := make([]float64, n)
+	if cap(p.xbar) < n {
+		p.xbar = make([]float64, n)
+		p.rhs = make([]float64, n)
+	}
+	xbar, rhs := p.xbar[:n], p.rhs[:n]
+	for i := range xbar {
+		xbar[i] = 0
+	}
 	copy(rhs, b)
 	for k := range p.xs {
 		a := alphas[k]
@@ -246,9 +309,9 @@ func (p *Projector) update(x []float64) {
 	if len(p.xs) >= p.L {
 		p.Reset()
 	}
-	w := make([]float64, n)
+	w := p.grab(n)
 	copy(w, x)
-	aw := make([]float64, n)
+	aw := p.grab(n)
 	p.apply(aw, w) // the one extra operator application per solve
 	norm0 := p.dot(w, aw)
 	// Two Gram-Schmidt passes for robustness against near-dependence.
@@ -266,6 +329,7 @@ func (p *Projector) update(x []float64) {
 	// Reject candidates that are (numerically) inside the span: normalizing
 	// roundoff noise would poison the basis and destabilize later solves.
 	if norm2 <= 0 || math.IsNaN(norm2) || norm2 <= 1e-12*norm0 {
+		p.free = append(p.free, w, aw)
 		return
 	}
 	inv := 1 / math.Sqrt(norm2)

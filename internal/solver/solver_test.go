@@ -238,3 +238,93 @@ func TestCGJacobiPreconditioner(t *testing.T) {
 		t.Errorf("Jacobi PCG %d iters vs CG %d", st2.Iterations, st1.Iterations)
 	}
 }
+
+// With a Scratch supplied and History off, repeated CG solves must not
+// allocate, and must produce bitwise the same answer as the allocating path.
+func TestCGScratchAllocFreeAndIdentical(t *testing.T) {
+	n := 64
+	diag := make([]float64, n)
+	b := make([]float64, n)
+	for i := range diag {
+		diag[i] = 2 + float64(i%7)
+		b[i] = math.Sin(float64(i))
+	}
+	apply := func(out, in []float64) {
+		for i := range out {
+			out[i] = diag[i] * in[i]
+		}
+	}
+	dot := func(u, v []float64) float64 {
+		var s float64
+		for i := range u {
+			s += u[i] * v[i]
+		}
+		return s
+	}
+	opt := Options{Tol: 1e-12, Relative: true, MaxIter: 200}
+	x1 := make([]float64, n)
+	CG(apply, dot, x1, b, opt)
+
+	sc := &Scratch{}
+	opt.Scratch = sc
+	x2 := make([]float64, n)
+	CG(apply, dot, x2, b, opt) // warm-up sizes the scratch
+	for i := range x1 {
+		if x1[i] != x2[i] {
+			t.Fatalf("scratch CG changed result at %d: %g vs %g", i, x2[i], x1[i])
+		}
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		for i := range x2 {
+			x2[i] = 0
+		}
+		CG(apply, dot, x2, b, opt)
+	})
+	if allocs > 0 {
+		t.Errorf("CG with Scratch allocated %v times per solve, want 0", allocs)
+	}
+}
+
+// The projector must reach an allocation-free steady state: after the basis
+// fills and restarts once, subsequent solves reuse retired vectors.
+func TestProjectorSteadyStateAllocFree(t *testing.T) {
+	n := 48
+	diag := make([]float64, n)
+	for i := range diag {
+		diag[i] = 3 + float64(i%5)
+	}
+	apply := func(out, in []float64) {
+		for i := range out {
+			out[i] = diag[i] * in[i]
+		}
+	}
+	dot := func(u, v []float64) float64 {
+		var s float64
+		for i := range u {
+			s += u[i] * v[i]
+		}
+		return s
+	}
+	p := NewProjector(4, apply, dot)
+	opt := Options{Tol: 1e-10, Relative: true, MaxIter: 200, Scratch: &Scratch{}}
+	x := make([]float64, n)
+	b := make([]float64, n)
+	solve := func(k int) {
+		for i := range b {
+			b[i] = math.Sin(float64(i*k+1)) // fresh RHS each call
+		}
+		p.ProjectAndSolve(x, b, opt)
+	}
+	// Fill the basis past one restart so the freelist is primed.
+	for k := 0; k < 3*p.L; k++ {
+		solve(k)
+	}
+	k := 1000
+	allocs := testing.AllocsPerRun(8, func() {
+		solve(k)
+		k++
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state ProjectAndSolve allocated %v times, want 0", allocs)
+	}
+}

@@ -1,0 +1,60 @@
+#!/bin/sh
+# Reproducible benchmark harness: runs the stepping and kernel benchmarks
+# with -benchmem and converts the output into a schema'd JSON artifact
+# (BENCH_3.json at the repo root) via cmd/benchjson. The artifact embeds
+#
+#   - the current measurements,
+#   - the committed seed baseline (scripts/bench_baseline.json), so one
+#     file carries the before/after pair, and
+#   - the la.Tuner per-shape kernel sweep for the Table 1 channel order
+#     (N=9, 2D) — the data behind the installed dispatch table.
+#
+# Usage:
+#   scripts/bench.sh            full run (default: 5x ~1s per benchmark)
+#   scripts/bench.sh quick      CI smoke: one iteration per benchmark,
+#                               artifact written to a temp dir and only
+#                               validated, not committed
+#
+# Environment overrides:
+#   BENCH_REGEX    benchmark selector (default: Table 1 stepping + Table 3
+#                  kernels — the benchmarks tracked in BENCH_3.json)
+#   BENCH_TIME     -benchtime value for the full run (default 1s)
+#   BENCH_COUNT    -count value for the full run (default 1)
+#   BENCH_OUT      artifact path for the full run (default BENCH_3.json)
+set -eu
+cd "$(dirname "$0")/.."
+
+regex="${BENCH_REGEX:-BenchmarkTable1ChannelStep$|BenchmarkTable1ChannelStepW4$|BenchmarkTable1ChannelStepTuned$|BenchmarkTable3}"
+mode="${1:-full}"
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+case "$mode" in
+quick)
+    echo "== bench smoke: -benchtime=1x over $regex =="
+    go test -run '^$' -bench "$regex" -benchtime=1x -benchmem . | tee "$tmp/bench.txt"
+    go run ./cmd/benchjson -in "$tmp/bench.txt" -out "$tmp/bench.json" \
+        -label "ci-smoke" -baseline scripts/bench_baseline.json -tune 9:2 -tune-ms 3
+    # Validate the artifact round-trips as JSON and carries measurements.
+    go run ./cmd/benchjson -in /dev/null -stamp=false >/dev/null # parser self-check
+    grep -q '"schema": "repro-bench/1"' "$tmp/bench.json"
+    grep -q '"name": "Table1ChannelStep"' "$tmp/bench.json"
+    echo "bench smoke OK (artifact validated, not committed)"
+    ;;
+full)
+    out="${BENCH_OUT:-BENCH_3.json}"
+    benchtime="${BENCH_TIME:-1s}"
+    count="${BENCH_COUNT:-1}"
+    echo "== bench: -benchtime=$benchtime -count=$count over $regex =="
+    go test -run '^$' -bench "$regex" -benchtime="$benchtime" -count="$count" -benchmem . |
+        tee "$tmp/bench.txt"
+    go run ./cmd/benchjson -in "$tmp/bench.txt" -out "$out" \
+        -label "scripts/bench.sh full" -baseline scripts/bench_baseline.json -tune 9:2
+    echo "wrote $out"
+    ;;
+*)
+    echo "usage: scripts/bench.sh [quick|full]" >&2
+    exit 2
+    ;;
+esac

@@ -17,6 +17,9 @@ echo "== tier 2: go vet ./... && go test -race -short ./... =="
 go vet ./...
 go test -race -short ./...
 
+echo "== smoke: benchmark harness (1 iteration per benchmark + artifact check) =="
+./scripts/bench.sh quick
+
 echo "== smoke: semflow -trace/-history artifacts validate =="
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
