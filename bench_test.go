@@ -11,6 +11,7 @@ import (
 	"repro/internal/instrument"
 	"repro/internal/la"
 	"repro/internal/mesh"
+	"repro/internal/parrun"
 	"repro/internal/perfmodel"
 	"repro/internal/schwarz"
 	"repro/internal/sem"
@@ -115,6 +116,33 @@ func BenchmarkTable1ChannelStepTraced(b *testing.B) {
 		if _, err := s.Step(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkChannelStepDistributed steps the channel as a 4-rank SPMD
+// program on the simulated machine (parrun.NavierStokes). Per-op cost is
+// real work per time step — every rank executes its element subset of all
+// stepper phases plus the message-passing simulation — with the one-time
+// setup (operator template, RSB partition, XXT factorization, network
+// spin-up) amortized over b.N steps. N=5 keeps the CI 1x smoke fast; the
+// serial reference at the same resolution is the flowcases channel with
+// N: 5 rather than Table 1's N: 9.
+func BenchmarkChannelStepDistributed(b *testing.B) {
+	cfg, init, _, err := flowcases.ChannelSpec(flowcases.ChannelConfig{
+		Re: 7500, Alpha: 1, N: 5, Dt: 0.003125, Order: 2,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	res, err := parrun.NavierStokes(cfg, parrun.NSConfig{
+		P: 4, Steps: b.N, Init: init,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if res.P != 4 {
+		b.Fatalf("ran on %d ranks, want 4", res.P)
 	}
 }
 

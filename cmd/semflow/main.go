@@ -6,7 +6,10 @@
 // trace-event JSON (open in Perfetto or chrome://tracing) combining the
 // wall-clock spans of the stepper with a per-rank virtual-clock timeline of
 // the distributed Schwarz+XXT pressure-style solve on the same mesh; with
-// -history it writes per-step convergence telemetry as JSONL.
+// -history it writes per-step convergence telemetry as JSONL. With
+// -ranks P the whole time loop instead runs as an SPMD program on the
+// simulated machine (parrun.NavierStokes) and the same artifacts carry the
+// per-rank traffic of every stepper phase.
 package main
 
 import (
@@ -38,6 +41,7 @@ func main() {
 	statsJSON := flag.Bool("stats-json", false, "like -stats, but emit JSON")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON (Perfetto-loadable) to this file")
 	traceRanks := flag.Int("trace-ranks", 8, "simulated ranks for the traced distributed solve")
+	ranks := flag.Int("ranks", 0, "run the whole time loop distributed over this many simulated ranks (0: serial shared-memory stepper)")
 	historyOut := flag.String("history", "", "write per-step convergence telemetry (JSONL) to this file")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file")
@@ -53,6 +57,12 @@ func main() {
 			log.Fatalf("cpuprofile: %v", err)
 		}
 		defer pprof.StopCPUProfile()
+	}
+
+	if *ranks > 0 {
+		runDistributed(*caseName, *ranks, *steps, *n, *nel, *alpha, *every,
+			*stats, *statsJSON, *traceOut, *historyOut)
+		return
 	}
 
 	var s *ns.Solver
@@ -196,6 +206,122 @@ func main() {
 		}
 		if err := f.Close(); err != nil {
 			log.Fatalf("memprofile: %v", err)
+		}
+	}
+}
+
+// runDistributed runs the selected case's whole time loop as an SPMD
+// program on the simulated machine (parrun.NavierStokes): RSB element
+// ownership per rank, distributed gather–scatter assembly, allreduce inner
+// products, and a per-rank virtual-clock trace track for every stepper
+// phase. The same -trace/-history/-stats artifacts come out of the
+// distributed run directly — no separate traced Poisson solve is needed.
+func runDistributed(caseName string, ranks, steps, n, nel int, alpha float64,
+	every int, stats, statsJSON bool, traceOut, historyOut string) {
+	var cfg ns.Config
+	var init flowcases.InitFunc
+	var err error
+	switch caseName {
+	case "shearlayer":
+		cfg, init, err = flowcases.ShearLayerSpec(flowcases.ShearLayerConfig{
+			Nel: nel, N: n, Rho: 30, Re: 1e5, Dt: 0.002, Alpha: alpha,
+		})
+	case "channel":
+		cfg, init, _, err = flowcases.ChannelSpec(flowcases.ChannelConfig{
+			Re: 7500, Alpha: 1, N: n, Dt: 0.003125, Order: 2, Filter: alpha,
+		})
+	case "hairpin":
+		cfg, init, err = flowcases.HairpinSpec(flowcases.HairpinConfig{
+			Nx: 6, Ny: 4, Nz: 3, N: n, Re: 1600, Dt: 0.05, FilterA: alpha,
+		})
+	case "convection":
+		err = fmt.Errorf("case convection carries scalar transport, which the distributed stepper does not support")
+	default:
+		err = fmt.Errorf("unknown case %q", caseName)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	var reg *instrument.Registry
+	if stats || statsJSON {
+		reg = instrument.New()
+	}
+	var tracer *instrument.Tracer
+	if traceOut != "" {
+		tracer = instrument.NewTracer()
+	}
+	var history *instrument.TimeSeries
+	if historyOut != "" {
+		history = instrument.NewTimeSeries()
+	}
+	m := cfg.Mesh
+	fmt.Printf("case=%s  K=%d  N=%d  dofs/component=%d  ranks=%d (distributed)\n",
+		caseName, m.K, m.N, m.K*m.Np, ranks)
+	res, err := parrun.NavierStokes(cfg, parrun.NSConfig{
+		P: ranks, Steps: steps, Init: init,
+		Registry: reg, Tracer: tracer, History: history,
+	})
+	if err != nil {
+		log.Fatalf("distributed run: %v", err)
+	}
+	if res.P != res.RequestedP {
+		fmt.Fprintf(os.Stderr, "note: %d ranks requested, clamped to %d (one element minimum per rank)\n",
+			res.RequestedP, res.P)
+	}
+	fmt.Printf("%6s %9s %6s %8s %8s %8s %12s\n",
+		"step", "t", "CFL", "p-iters", "h-iters", "basis", "p-res")
+	for i, st := range res.StepStats {
+		if (i+1)%every != 0 {
+			continue
+		}
+		fmt.Printf("%6d %9.4f %6.2f %8d %8d %8d %12.3e\n",
+			i+1, cfg.Dt*float64(i+1), st.CFL, st.PressureIters,
+			st.HelmholtzIters[0], st.ProjectionBasis, st.PressureResFinal)
+	}
+	if !res.Converged {
+		fmt.Fprintf(os.Stderr, "warning: %d/%d steps did not converge\n",
+			res.NonconvergedSteps, res.Steps)
+	}
+	fmt.Printf("\ndistributed run: P=%d steps=%d virtual=%.3es traffic=%.1fkB/%d msgs cut-edges=%d\n",
+		res.P, res.Steps, res.VirtualSeconds,
+		float64(res.TotalBytes)/1024, res.TotalMsgs, res.CutEdges)
+	if tracer != nil {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			log.Fatalf("trace: %v", err)
+		}
+		if err := tracer.WriteJSON(f); err != nil {
+			log.Fatalf("trace: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("trace: %v", err)
+		}
+		fmt.Printf("wrote %d trace events to %s (load in https://ui.perfetto.dev)\n",
+			tracer.Len(), traceOut)
+	}
+	if history != nil {
+		f, err := os.Create(historyOut)
+		if err != nil {
+			log.Fatalf("history: %v", err)
+		}
+		if err := history.WriteJSONL(f); err != nil {
+			log.Fatalf("history: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("history: %v", err)
+		}
+		fmt.Printf("wrote %d per-step telemetry records to %s\n", history.Len(), historyOut)
+	}
+	if reg != nil {
+		rep := reg.Report()
+		if statsJSON {
+			j, err := rep.JSON()
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("\n%s\n", j)
+		} else {
+			fmt.Printf("\n%s", rep.String())
 		}
 	}
 }

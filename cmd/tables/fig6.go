@@ -93,6 +93,7 @@ func fig6(quick bool) {
 	fmt.Println("offset; it beats both baselines in the work- and the")
 	fmt.Println("communication-dominated regimes.")
 	fig6Timeline()
+	fig6Distributed(quick)
 }
 
 // fig6Timeline renders the per-rank message timeline of one XXT coarse

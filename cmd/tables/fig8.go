@@ -32,6 +32,7 @@ func fig8(quick bool) {
 	fmt.Println("initial transient as the projection space fills; time per step")
 	fmt.Println("follows the iteration count; Helmholtz iterations stay flat.")
 	fig8TraceCheck(quick)
+	fig8Distributed(quick)
 }
 
 // fig8TraceCheck cross-checks the closed-form α–β performance model against

@@ -212,7 +212,11 @@ func (s *XXT) SolveOn(r *comm.Rank, bLocal []float64) []float64 {
 	// Stage 1: z = Xᵀ b. Local columns owned by me are complete from my
 	// rows; cross columns get partial sums from every rank.
 	zCross := make([]float64, len(s.CrossCols))
-	zLocal := make(map[int]float64)
+	// Owned-column partials, kept in ascending column order: stage 3
+	// accumulates them into u, and a map here would make that accumulation
+	// order (hence the roundoff) vary run to run.
+	zLocalJ := make([]int, 0, s.N/max(r.P(), 1)+1)
+	zLocalV := make([]float64, 0, cap(zLocalJ))
 	var flops int64
 	for j := 0; j < s.N; j++ {
 		ci := s.crossOf[j]
@@ -225,7 +229,8 @@ func (s *XXT) SolveOn(r *comm.Rank, bLocal []float64) []float64 {
 			for k, i := range idx {
 				sum += val[k] * bLocal[int(i)-lo]
 			}
-			zLocal[j] = sum
+			zLocalJ = append(zLocalJ, j)
+			zLocalV = append(zLocalV, sum)
 			flops += int64(2 * len(idx))
 			continue
 		}
@@ -247,7 +252,8 @@ func (s *XXT) SolveOn(r *comm.Rank, bLocal []float64) []float64 {
 	// Stage 3: u = X z restricted to my rows.
 	u := make([]float64, hi-lo)
 	flops = 0
-	for j, z := range zLocal {
+	for t, j := range zLocalJ {
+		z := zLocalV[t]
 		idx, val := s.x.Idx[j], s.x.Val[j]
 		for k, i := range idx {
 			u[int(i)-lo] += val[k] * z

@@ -28,9 +28,15 @@ type ShearLayerConfig struct {
 	Workers int
 }
 
-// ShearLayer builds the doubly periodic shear layer solver with the paper's
-// initial condition.
-func ShearLayer(c ShearLayerConfig) (*ns.Solver, error) {
+// InitFunc is an initial velocity field. Specs return the problem as an
+// (ns.Config, InitFunc) pair so the serial solver (ns.New + SetVelocity)
+// and the distributed stepper (parrun.NavierStokes) run the exact same
+// case from the exact same initial condition.
+type InitFunc = func(x, y, z float64) (u, v, w float64)
+
+// ShearLayerSpec builds the Fig. 3 problem definition without constructing
+// a solver.
+func ShearLayerSpec(c ShearLayerConfig) (ns.Config, InitFunc, error) {
 	if c.Dt == 0 {
 		c.Dt = 0.002
 	}
@@ -40,7 +46,7 @@ func ShearLayer(c ShearLayerConfig) (*ns.Solver, error) {
 	})
 	m, err := mesh.Discretize(spec, c.N)
 	if err != nil {
-		return nil, err
+		return ns.Config{}, nil, err
 	}
 	// Production filter setting: ramp over the top ~20% of modes (at least
 	// two), reaching strength alpha at mode N — the robust variant of the
@@ -49,16 +55,13 @@ func ShearLayer(c ShearLayerConfig) (*ns.Solver, error) {
 	if cutoff > c.N-2 {
 		cutoff = c.N - 2
 	}
-	s, err := ns.New(ns.Config{
+	cfg := ns.Config{
 		Mesh: m, Re: c.Re, Dt: c.Dt, Order: c.Order,
 		FilterAlpha: c.Alpha, FilterCutoff: cutoff, Workers: c.Workers,
 		ProjectionL: 20, PTol: 1e-7, SubCFL: 0.25,
-	})
-	if err != nil {
-		return nil, err
 	}
 	rho := c.Rho
-	s.SetVelocity(func(x, y, z float64) (float64, float64, float64) {
+	init := func(x, y, z float64) (float64, float64, float64) {
 		var u float64
 		if y <= 0.5 {
 			u = math.Tanh(rho * (y - 0.25))
@@ -66,7 +69,22 @@ func ShearLayer(c ShearLayerConfig) (*ns.Solver, error) {
 			u = math.Tanh(rho * (0.75 - y))
 		}
 		return u, 0.05 * math.Sin(2*math.Pi*x), 0
-	})
+	}
+	return cfg, init, nil
+}
+
+// ShearLayer builds the doubly periodic shear layer solver with the paper's
+// initial condition.
+func ShearLayer(c ShearLayerConfig) (*ns.Solver, error) {
+	cfg, init, err := ShearLayerSpec(c)
+	if err != nil {
+		return nil, err
+	}
+	s, err := ns.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.SetVelocity(init)
 	return s, nil
 }
 
@@ -134,9 +152,9 @@ type ChannelConfig struct {
 	Workers int
 }
 
-// Channel builds the TS-wave channel problem and returns the solver along
-// with the Orr–Sommerfeld reference solution.
-func Channel(c ChannelConfig) (*ns.Solver, *orrsomm.Result, error) {
+// ChannelSpec builds the Table 1 problem definition without constructing a
+// solver.
+func ChannelSpec(c ChannelConfig) (ns.Config, InitFunc, *orrsomm.Result, error) {
 	if c.KX == 0 {
 		c.KX, c.KY = 5, 3
 	}
@@ -145,7 +163,7 @@ func Channel(c ChannelConfig) (*ns.Solver, *orrsomm.Result, error) {
 	}
 	osr, err := orrsomm.Solve(c.Re, c.Alpha, 128, complex(0.25, 0.002))
 	if err != nil {
-		return nil, nil, fmt.Errorf("flowcases: OS reference: %w", err)
+		return ns.Config{}, nil, nil, fmt.Errorf("flowcases: OS reference: %w", err)
 	}
 	lx := 2 * math.Pi / c.Alpha
 	spec := mesh.Box2D(mesh.Box2DSpec{
@@ -153,10 +171,10 @@ func Channel(c ChannelConfig) (*ns.Solver, *orrsomm.Result, error) {
 	})
 	m, err := mesh.Discretize(spec, c.N)
 	if err != nil {
-		return nil, nil, err
+		return ns.Config{}, nil, nil, err
 	}
 	re := c.Re
-	s, err := ns.New(ns.Config{
+	cfg := ns.Config{
 		Mesh: m, Re: re, Dt: c.Dt, Order: c.Order, FilterAlpha: c.Filter,
 		Workers: c.Workers, ProjectionL: 20, PTol: 1e-9, VTol: 1e-11,
 		DirichletMask: func(x, y, z float64) bool { return true }, // walls
@@ -167,15 +185,27 @@ func Channel(c ChannelConfig) (*ns.Solver, *orrsomm.Result, error) {
 		Forcing: func(x, y, z, t float64) (float64, float64, float64) {
 			return 2 / re, 0, 0
 		},
-	})
+	}
+	eps := c.Eps
+	init := func(x, y, z float64) (float64, float64, float64) {
+		up, vp := osr.Velocity(x, y, 0, eps)
+		return orrsomm.BaseFlow(y) + up, vp, 0
+	}
+	return cfg, init, osr, nil
+}
+
+// Channel builds the TS-wave channel problem and returns the solver along
+// with the Orr–Sommerfeld reference solution.
+func Channel(c ChannelConfig) (*ns.Solver, *orrsomm.Result, error) {
+	cfg, init, osr, err := ChannelSpec(c)
 	if err != nil {
 		return nil, nil, err
 	}
-	eps := c.Eps
-	s.SetVelocity(func(x, y, z float64) (float64, float64, float64) {
-		up, vp := osr.Velocity(x, y, 0, eps)
-		return orrsomm.BaseFlow(y) + up, vp, 0
-	})
+	s, err := ns.New(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	s.SetVelocity(init)
 	return s, osr, nil
 }
 
@@ -273,8 +303,9 @@ type HairpinConfig struct {
 	ProjL      int
 }
 
-// Hairpin builds the 3D roughness-element boundary-layer problem.
-func Hairpin(c HairpinConfig) (*ns.Solver, error) {
+// HairpinSpec builds the Figs. 7–8 problem definition without constructing
+// a solver.
+func HairpinSpec(c HairpinConfig) (ns.Config, InitFunc, error) {
 	const r = 1.0 // roughness radius sets the unit
 	lx, ly, lz := 12*r, 6*r, 4*r
 	spec := mesh.HemisphereBox(mesh.HemisphereBoxSpec{
@@ -286,7 +317,7 @@ func Hairpin(c HairpinConfig) (*ns.Solver, error) {
 	})
 	m, err := mesh.Discretize(spec, c.N)
 	if err != nil {
-		return nil, err
+		return ns.Config{}, nil, err
 	}
 	delta := c.Delta
 	if delta == 0 {
@@ -303,7 +334,7 @@ func Hairpin(c HairpinConfig) (*ns.Solver, error) {
 	if c.ProjL == 0 {
 		c.ProjL = 20
 	}
-	s, err := ns.New(ns.Config{
+	cfg := ns.Config{
 		Mesh: m, Re: c.Re, Dt: c.Dt, Workers: c.Workers,
 		FilterAlpha: c.FilterA, ProjectionL: c.ProjL, PTol: 1e-6, VTol: 1e-8,
 		// Dirichlet on inflow (x=0), floor (z=0 including the bump, which
@@ -318,12 +349,23 @@ func Hairpin(c HairpinConfig) (*ns.Solver, error) {
 			}
 			return 0, 0, 0 // no-slip floor
 		},
-	})
+	}
+	init := func(x, y, z float64) (float64, float64, float64) {
+		return blasius(z), 0, 0
+	}
+	return cfg, init, nil
+}
+
+// Hairpin builds the 3D roughness-element boundary-layer problem.
+func Hairpin(c HairpinConfig) (*ns.Solver, error) {
+	cfg, init, err := HairpinSpec(c)
 	if err != nil {
 		return nil, err
 	}
-	s.SetVelocity(func(x, y, z float64) (float64, float64, float64) {
-		return blasius(z), 0, 0
-	})
+	s, err := ns.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.SetVelocity(init)
 	return s, nil
 }

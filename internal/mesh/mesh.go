@@ -459,6 +459,12 @@ func (m *Mesh) buildCoarseAndAdjacency() {
 			m.Adj[es[1]] = append(m.Adj[es[1]], es[0])
 		}
 	}
+	// The faces map iterates in random order; canonicalize the neighbour
+	// lists so everything downstream of Adj (spectral bisection above all)
+	// is bitwise reproducible across runs.
+	for e := range m.Adj {
+		sortInts(m.Adj[e])
+	}
 }
 
 // faceCornerSets lists, per element face, the corner indices (tensor corner

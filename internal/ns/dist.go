@@ -1,0 +1,117 @@
+package ns
+
+// dist.go factors the stepper phases into per-element kernels drivable from
+// SPMD rank bodies (internal/parrun): a rank owning a subset of elements
+// keeps its fields in rank-local block storage and advances them with the
+// same arithmetic the serial Step runs, exchanging only through the
+// distributed gather–scatter and allreduce inner products. Every method
+// here is read-only on the Solver and takes caller-owned scratch (or pulls
+// from the Disc's concurrent pool), so all ranks may share one Solver as a
+// read-only operator template.
+
+import (
+	"repro/internal/schwarz"
+	"repro/internal/sem"
+	"repro/internal/tensor"
+)
+
+// BDF returns the BDF coefficients for the given effective order: beta
+// (coefficient of u^n/Δt) and gamma[q] (coefficient of ũ^{n-q}/Δt).
+func BDF(order int) (beta float64, gamma []float64) { return bdf(order) }
+
+// SubstepCount returns the CFL-bounded RK4 substep count for an advection
+// interval of length tau given the stable substep size cflDt.
+func SubstepCount(tau, cflDt float64) int { return substepCount(tau, cflDt) }
+
+// Npp returns the pressure (Gauss-grid) nodes per element.
+func (s *Solver) Npp() int { return s.npp }
+
+// Dim returns the spatial dimension.
+func (s *Solver) Dim() int { return s.dim }
+
+// Enclosed reports whether the pressure operator carries the constant null
+// space (no open boundary), i.e. whether solves must deflate the mean.
+func (s *Solver) Enclosed() bool { return s.enclosed }
+
+// VelocityMask returns the velocity Dirichlet mask in the global
+// element-local layout (nil when the problem has no Dirichlet boundary).
+// Read-only.
+func (s *Solver) VelocityMask() []float64 { return s.maskV }
+
+// BAssem returns the assembled velocity mass diagonal in the global
+// element-local layout. Read-only.
+func (s *Solver) BAssem() []float64 { return s.bAssem }
+
+// PressurePre returns the Schwarz preconditioner of the pressure solve (nil
+// when PressurePrecond is "none").
+func (s *Solver) PressurePre() *schwarz.Precond { return s.pPre }
+
+// FilterOp returns the Fischer–Mullen filter (nil when FilterAlpha is 0).
+func (s *Solver) FilterOp() *sem.Filter { return s.filter }
+
+// InterpWorkLen returns the scratch length required by the staggered-grid
+// interpolation kernels (RestrictVPElem, ProlongPVElem, GradTElem).
+func (s *Solver) InterpWorkLen() int { return s.interpWorkLen() }
+
+// RestrictVPElem applies J_pvᵀ (velocity grid → pressure grid, the adjoint
+// of the prolongation) on one element's local blocks: out has length Npp,
+// u length Np, work length ≥ InterpWorkLen.
+func (s *Solver) RestrictVPElem(out, u, work []float64) {
+	s.interpElemVPRestrict(out, u, work)
+}
+
+// ProlongPVElem applies J_pv (pressure grid → velocity grid, exact
+// polynomial interpolation of the degree-(N-2) pressure) on one element's
+// local blocks: out has length Np, p length Npp, work length ≥
+// InterpWorkLen.
+func (s *Solver) ProlongPVElem(out, p, work []float64) {
+	s.interpElemPVProlong(out, p, work)
+}
+
+// GradTElem accumulates element e's contribution to the momentum pressure
+// term Dᵀp into the local velocity-grid blocks outs[0..dim) (length Np
+// each, caller-zeroed), from the local pressure block pe (length Npp).
+// Scratch: work length ≥ InterpWorkLen, tv and we length Np. This is the
+// rank-local form of the serial gradTElement, with identical arithmetic.
+func (s *Solver) GradTElem(outs [][]float64, pe []float64, e int, work, tv, we []float64) {
+	m := s.M
+	np1 := s.np1
+	s.interpElemPVProlong(tv, pe, work)
+	base := e * m.Np
+	for l := 0; l < m.Np; l++ {
+		tv[l] *= m.B[base+l]
+	}
+	buf := work[:m.Np]
+	for c := 0; c < s.dim; c++ {
+		oc := outs[c]
+		for a := 0; a < s.dim; a++ {
+			metric := m.RX[a*s.dim+c]
+			for l := 0; l < m.Np; l++ {
+				we[l] = metric[base+l] * tv[l]
+			}
+			tensor.ApplyDim(buf, m.Dt, we, np1, s.dim, a)
+			for l := 0; l < m.Np; l++ {
+				oc[l] += buf[l]
+			}
+		}
+	}
+}
+
+// AdvectCoeffs returns the Lagrange interpolation/extrapolation
+// coefficients of the k velocity-history fields (at times -(q+1)·Δt) for
+// relative time t (t = 0 is the new time level) — the OIFS advecting-field
+// weights of advectingField, without touching Solver scratch.
+func (s *Solver) AdvectCoeffs(t float64, k int) [4]float64 {
+	var coef [4]float64
+	tk := func(q int) float64 { return -float64(q+1) * s.Cfg.Dt }
+	for q := 0; q < k; q++ {
+		l := 1.0
+		for j := 0; j < k; j++ {
+			if j != q {
+				l *= (t - tk(j)) / (tk(q) - tk(j))
+			}
+		}
+		coef[q] = l
+	}
+	return coef
+}

@@ -1,0 +1,305 @@
+package parrun
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/instrument"
+	"repro/internal/mesh"
+	"repro/internal/ns"
+)
+
+// nsCase is a small enclosed 2D case: all-Dirichlet walls (so the pressure
+// deflation path runs), a body force, a filter, and projection — every phase
+// of the distributed stepper exercised. The tolerances are tightened well
+// below the agreement tolerance so reduction-order differences cannot shift
+// iteration counts between P values.
+func nsCase(t *testing.T) (ns.Config, func(x, y, z float64) (float64, float64, float64)) {
+	t.Helper()
+	spec := mesh.Box2D(mesh.Box2DSpec{Nx: 4, Ny: 2, X0: 0, X1: 1, Y0: 0, Y1: 1})
+	m, err := mesh.Discretize(spec, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ns.Config{
+		Mesh: m, Re: 100, Dt: 0.01, Order: 2,
+		FilterAlpha: 0.05, ProjectionL: 8,
+		PTol: 1e-12, VTol: 1e-13, PMaxIter: 400,
+		DirichletMask: func(x, y, z float64) bool { return true },
+		DirichletVal: func(x, y, z, t float64) (float64, float64, float64) {
+			return 0, 0, 0
+		},
+		Forcing: func(x, y, z, t float64) (float64, float64, float64) {
+			return 1, 0, 0
+		},
+	}
+	init := func(x, y, z float64) (float64, float64, float64) {
+		return math.Sin(math.Pi*x) * math.Sin(math.Pi*y),
+			0.2 * math.Sin(2*math.Pi*x) * math.Sin(math.Pi*y), 0
+	}
+	return cfg, init
+}
+
+// runSerial advances the serial reference stepper.
+func runSerial(t *testing.T, cfg ns.Config, init func(x, y, z float64) (float64, float64, float64), steps int) *ns.Solver {
+	t.Helper()
+	s, err := ns.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetVelocity(init)
+	for i := 0; i < steps; i++ {
+		if _, err := s.Step(); err != nil {
+			t.Fatalf("serial step %d: %v", i+1, err)
+		}
+	}
+	return s
+}
+
+func maxAbsDiff(a, b []float64) float64 {
+	var m float64
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// TestNavierStokesMatchesSerial: the distributed stepper's fields must agree
+// with the serial solver over 10 steps for power-of-two and odd rank counts.
+// P = 1 exercises the rank path with no reduction reordering at all; P > 1
+// differs only by allreduce summation order.
+func TestNavierStokesMatchesSerial(t *testing.T) {
+	cfg, init := nsCase(t)
+	const steps = 10
+	ser := runSerial(t, cfg, init, steps)
+	for _, p := range []int{1, 2, 3, 5, 8} {
+		res, err := NavierStokes(cfg, NSConfig{P: p, Steps: steps, Init: init})
+		if err != nil {
+			t.Fatalf("P=%d: %v", p, err)
+		}
+		if res.P != p || res.RequestedP != p {
+			t.Fatalf("P=%d: effective/requested %d/%d", p, res.P, res.RequestedP)
+		}
+		if !res.Converged {
+			t.Fatalf("P=%d: %d steps did not converge", p, res.NonconvergedSteps)
+		}
+		if len(res.StepStats) != steps {
+			t.Fatalf("P=%d: %d step stats, want %d", p, len(res.StepStats), steps)
+		}
+		tol := 1e-8
+		for c := 0; c < cfg.Mesh.Dim; c++ {
+			if d := maxAbsDiff(res.U[c], ser.Velocity(c)); d > tol {
+				t.Errorf("P=%d: velocity component %d differs from serial by %g > %g", p, c, d, tol)
+			}
+		}
+		if d := maxAbsDiff(res.Pressure, ser.Pressure()); d > tol {
+			t.Errorf("P=%d: pressure differs from serial by %g > %g", p, d, tol)
+		}
+		if math.Abs(res.Time-ser.Time()) > 1e-12 {
+			t.Errorf("P=%d: time %g, serial %g", p, res.Time, ser.Time())
+		}
+		if res.VirtualSeconds <= 0 {
+			t.Errorf("P=%d: no modeled virtual time", p)
+		}
+	}
+}
+
+// TestNavierStokesStatsMatchSerial: per-step statistics at P = 1 must track
+// the serial stepper — exactly for the integer phase structure (substeps,
+// Helmholtz iterations, projection basis), and within a small band for the
+// pressure iteration count and CFL, which see roundoff-level differences
+// from the XXT coarse solve's rounding.
+func TestNavierStokesStatsMatchSerial(t *testing.T) {
+	cfg, init := nsCase(t)
+	const steps = 5
+	s, err := ns.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetVelocity(init)
+	var serial []ns.StepStats
+	for i := 0; i < steps; i++ {
+		st, err := s.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial = append(serial, st)
+	}
+	res, err := NavierStokes(cfg, NSConfig{P: 1, Steps: steps, Init: init})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, st := range res.StepStats {
+		ref := serial[i]
+		if st.HelmholtzIters != ref.HelmholtzIters || st.Substeps != ref.Substeps ||
+			st.ProjectionBasis != ref.ProjectionBasis {
+			t.Errorf("step %d: distributed stats %+v != serial %+v", i+1, st, ref)
+		}
+		if d := st.PressureIters - ref.PressureIters; d > 10 || d < -10 {
+			t.Errorf("step %d: pressure iterations %d vs serial %d", i+1, st.PressureIters, ref.PressureIters)
+		}
+		if ref.CFL != 0 && math.Abs(st.CFL-ref.CFL) > 1e-9*ref.CFL {
+			t.Errorf("step %d: CFL %g vs serial %g", i+1, st.CFL, ref.CFL)
+		}
+	}
+}
+
+// nsTraceRun runs the distributed stepper with a wall-clock-free tracer and
+// returns the serialized trace.
+func nsTraceRun(t *testing.T, p, steps int) (*instrument.Tracer, []byte) {
+	t.Helper()
+	cfg, init := nsCase(t)
+	tr := instrument.NewTracer()
+	tr.DisableWallClock()
+	if _, err := NavierStokes(cfg, NSConfig{P: p, Steps: steps, Init: init, Tracer: tr}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return tr, buf.Bytes()
+}
+
+// TestNavierStokesTraceShape: the distributed run's trace must validate and
+// carry every stepper phase plus the communication substrate on the rank
+// virtual tracks.
+func TestNavierStokesTraceShape(t *testing.T) {
+	const p = 4
+	tr, data := nsTraceRun(t, p, 3)
+	if err := instrument.ValidateChromeTrace(data, p); err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{
+		"ns/convect":       false,
+		"ns/viscous":       false,
+		"ns/pressure":      false,
+		"ns/filter":        false,
+		"gs/exchange":      false,
+		"allreduce":        false,
+		"schwarz/local":    false,
+		"schwarz/coarse":   false,
+		"coarse/xxt.solve": false,
+	}
+	ranksSeen := map[int]bool{}
+	for _, ev := range tr.Events() {
+		if ev.Pid == instrument.PidMachine {
+			ranksSeen[ev.Tid] = true
+			if _, ok := want[ev.Name]; ok {
+				want[ev.Name] = true
+			}
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("no %q span on any rank track", name)
+		}
+	}
+	if len(ranksSeen) < p {
+		t.Errorf("events on %d rank tracks, want %d", len(ranksSeen), p)
+	}
+}
+
+// TestNavierStokesTraceDeterminism: two identical distributed runs must
+// serialize to byte-identical traces with the wall clock disabled.
+func TestNavierStokesTraceDeterminism(t *testing.T) {
+	_, a := nsTraceRun(t, 4, 3)
+	_, b := nsTraceRun(t, 4, 3)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("traces differ between identical runs: %d vs %d bytes", len(a), len(b))
+	}
+}
+
+// TestNavierStokesHistoryTelemetry: a distributed run must emit the same
+// per-step StepRecord schema the serial stepper writes.
+func TestNavierStokesHistoryTelemetry(t *testing.T) {
+	cfg, init := nsCase(t)
+	hist := instrument.NewTimeSeries()
+	res, err := NavierStokes(cfg, NSConfig{P: 3, Steps: 4, Init: init, History: hist})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hist.Len() != 4 {
+		t.Fatalf("history has %d records, want 4", hist.Len())
+	}
+	var buf bytes.Buffer
+	if err := hist.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("history JSONL has %d lines, want 4", len(lines))
+	}
+	for _, key := range []string{"pressure_res_hist", "max_divergence", "pressure_converged"} {
+		if !strings.Contains(lines[0], key) {
+			t.Errorf("history record missing %q: %s", key, lines[0])
+		}
+	}
+	if !res.Converged {
+		t.Fatalf("unexpected nonconvergence")
+	}
+}
+
+// TestNavierStokesNonconvergedPropagates: with an impossible iteration cap
+// the run must report failure uniformly — result flag, counts, and the
+// per-step telemetry — never success.
+func TestNavierStokesNonconvergedPropagates(t *testing.T) {
+	cfg, init := nsCase(t)
+	cfg.PMaxIter = 1
+	cfg.PTol = 1e-15
+	hist := instrument.NewTimeSeries()
+	res, err := NavierStokes(cfg, NSConfig{P: 2, Steps: 2, Init: init, History: hist})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Fatal("result claims convergence with a 1-iteration pressure cap")
+	}
+	if res.NonconvergedSteps != 2 {
+		t.Fatalf("NonconvergedSteps = %d, want 2", res.NonconvergedSteps)
+	}
+	for i, st := range res.StepStats {
+		if st.PressureConverged {
+			t.Errorf("step %d reports a converged pressure solve", i+1)
+		}
+	}
+	var buf bytes.Buffer
+	if err := hist.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"pressure_converged":false`) {
+		t.Error("history telemetry does not record the nonconverged pressure solves")
+	}
+}
+
+// TestMachinePMismatchRejected: a caller-supplied Machine.P that disagrees
+// with cfg.P must be an error, not a silent reshape — for both entry points.
+func TestMachinePMismatchRejected(t *testing.T) {
+	m := boxMesh(t, 4, 5)
+	mach := comm.ASCIRed(3)
+	if _, err := PoissonSchwarz(m, Config{P: 2, Machine: mach}); err == nil {
+		t.Error("PoissonSchwarz accepted Machine.P=3 with P=2")
+	}
+	cfg, init := nsCase(t)
+	if _, err := NavierStokes(cfg, NSConfig{P: 2, Machine: mach, Steps: 1, Init: init}); err == nil {
+		t.Error("NavierStokes accepted Machine.P=3 with P=2")
+	}
+}
+
+// TestRequestedPRecorded: clamping to the element count must be observable
+// through RequestedP instead of silently rewriting the caller's request.
+func TestRequestedPRecorded(t *testing.T) {
+	m := boxMesh(t, 2, 5) // K = 4
+	res, err := PoissonSchwarz(m, Config{P: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P != m.K || res.RequestedP != 9 {
+		t.Fatalf("effective/requested = %d/%d, want %d/9", res.P, res.RequestedP, m.K)
+	}
+}

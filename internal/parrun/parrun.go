@@ -27,17 +27,18 @@ import (
 
 // Config controls a distributed Poisson solve.
 type Config struct {
-	P        int          // simulated ranks (clamped to the element count)
-	Machine  comm.Machine // zero value: ASCIRed(P)
-	Tol      float64      // relative CG tolerance (default 1e-8)
-	MaxIter  int          // default 200
+	P        int                  // simulated ranks (clamped to the element count)
+	Machine  comm.Machine         // zero value: ASCIRed(P)
+	Tol      float64              // relative CG tolerance (default 1e-8)
+	MaxIter  int                  // default 200
 	Registry *instrument.Registry // optional metrics
 	Tracer   *instrument.Tracer   // optional trace (per-rank virtual tracks)
 }
 
 // Result reports the solve and its modeled parallel cost.
 type Result struct {
-	P              int
+	P              int // effective ranks (after clamping to the element count)
+	RequestedP     int // ranks the caller asked for
 	Iterations     int
 	Converged      bool
 	InitialRes     float64
@@ -56,24 +57,17 @@ type Result struct {
 // boundary (fully periodic) are handled as the pure-Neumann problem: the
 // coarse operator pins one vertex and the right-hand side is deflated.
 func PoissonSchwarz(m *mesh.Mesh, cfg Config) (*Result, error) {
-	p := cfg.P
-	if p < 1 {
-		p = 1
+	requested, mach, err := resolveRanks(cfg.P, cfg.Machine, m.K)
+	if err != nil {
+		return nil, err
 	}
-	if p > m.K {
-		p = m.K
-	}
+	p := mach.P
 	if cfg.Tol == 0 {
 		cfg.Tol = 1e-8
 	}
 	if cfg.MaxIter == 0 {
 		cfg.MaxIter = 200
 	}
-	mach := cfg.Machine
-	if mach.P == 0 {
-		mach = comm.ASCIRed(p)
-	}
-	mach.P = p
 
 	mask := m.BoundaryMask(nil)
 	neumann := true
@@ -112,9 +106,13 @@ func PoissonSchwarz(m *mesh.Mesh, cfg Config) (*Result, error) {
 	ranks := net.Run(func(r *comm.Rank) {
 		stats[r.ID], xs[r.ID] = rankBody(r, m, mask, neumann, elems[r.ID], pre, xxt, cfg)
 	})
+	if err := checkStatsAgree(stats); err != nil {
+		return nil, err
+	}
 
 	res := &Result{
 		P:              p,
+		RequestedP:     requested,
 		Iterations:     stats[0].Iterations,
 		Converged:      stats[0].Converged,
 		InitialRes:     stats[0].InitialRes,
@@ -135,6 +133,52 @@ func PoissonSchwarz(m *mesh.Mesh, cfg Config) (*Result, error) {
 		}
 	}
 	return res, nil
+}
+
+// resolveRanks reconciles the requested rank count with the machine model
+// and the element count: a caller-supplied Machine.P must agree with P
+// (rather than being silently overwritten), and the effective count is
+// clamped to K so every rank owns at least one element. It returns the
+// requested count and the machine reshaped to the effective count.
+func resolveRanks(p int, mach comm.Machine, k int) (requested int, out comm.Machine, err error) {
+	requested = p
+	if requested < 1 {
+		if mach.P > 0 {
+			requested = mach.P
+		} else {
+			requested = 1
+		}
+	}
+	if mach.P != 0 && mach.P != requested {
+		return 0, mach, fmt.Errorf("parrun: Machine.P = %d disagrees with cfg.P = %d (set one, or make them equal)",
+			mach.P, p)
+	}
+	eff := requested
+	if eff > k {
+		eff = k
+	}
+	if mach.P == 0 {
+		mach = comm.ASCIRed(eff)
+	}
+	mach.P = eff
+	return requested, mach, nil
+}
+
+// checkStatsAgree verifies that every rank's CG saw identical statistics.
+// The simulated collectives return bitwise-identical results on all ranks,
+// so any disagreement means a rank diverged from the SPMD control flow —
+// the classic silent replicated-scalar corruption.
+func checkStatsAgree(stats []solver.Stats) error {
+	for q := 1; q < len(stats); q++ {
+		a, b := stats[0], stats[q]
+		if a.Iterations != b.Iterations || a.Converged != b.Converged ||
+			a.FinalRes != b.FinalRes || a.InitialRes != b.InitialRes {
+			return fmt.Errorf("parrun: rank %d CG statistics disagree with rank 0 "+
+				"(iters %d/%d, converged %v/%v, res %g/%g): replicated-scalar drift",
+				q, a.Iterations, b.Iterations, a.Converged, b.Converged, a.FinalRes, b.FinalRes)
+		}
+	}
+	return nil
 }
 
 func maskOrNil(mask []float64, neumann bool) []float64 {

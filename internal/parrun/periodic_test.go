@@ -1,0 +1,51 @@
+package parrun
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/flowcases"
+)
+
+// TestNavierStokesChannelPeriodicMatchesSerial: the paper's channel case on
+// the periodic mesh, distributed over several rank counts, must agree with
+// the serial solver. This is the hard regression for two subtle failure
+// modes fixed together:
+//
+//   - the component-0 viscous Helmholtz solve starts so close to its
+//     solution that the relative tolerance is below machine precision; CG
+//     then idles at the roundoff floor where a single near-breakdown step
+//     (tiny positive p·q, huge alpha) can catapult the iterate O(1e-3) away.
+//     Reduction-order roundoff decides whether that step happens, so before
+//     CG returned its best iterate the distributed fields disagreed with
+//     serial by ~1e-2 at P >= 4 while P <= 2 happened to match;
+//   - map-iteration-order nondeterminism (mesh adjacency, XXT owned-column
+//     accumulation) made the failure appear and vanish between processes.
+func TestNavierStokesChannelPeriodicMatchesSerial(t *testing.T) {
+	cfg, init, _, err := flowcases.ChannelSpec(flowcases.ChannelConfig{
+		Re: 7500, Alpha: 1, N: 5, Dt: 0.003125, Order: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const steps = 3
+	ser := runSerial(t, cfg, init, steps)
+	for _, p := range []int{1, 2, 4, 8} {
+		res, err := NavierStokes(cfg, NSConfig{P: p, Steps: steps, Init: init})
+		if err != nil {
+			t.Fatalf("P=%d: %v", p, err)
+		}
+		const tol = 1e-8
+		for c := 0; c < cfg.Mesh.Dim; c++ {
+			if d := maxAbsDiff(res.U[c], ser.Velocity(c)); d > tol {
+				t.Errorf("P=%d: velocity component %d differs from serial by %g > %g", p, c, d, tol)
+			}
+		}
+		if d := maxAbsDiff(res.Pressure, ser.Pressure()); d > tol {
+			t.Errorf("P=%d: pressure differs from serial by %g > %g", p, d, tol)
+		}
+		if math.Abs(res.Time-ser.Time()) > 1e-12 {
+			t.Errorf("P=%d: time %g, serial %g", p, res.Time, ser.Time())
+		}
+	}
+}

@@ -205,59 +205,14 @@ func (d *Disc) MassApply(out, u []float64) {
 // preconditioner of the velocity solves.
 func (d *Disc) HelmholtzDiag(h1, h2 float64) []float64 {
 	m := d.M
-	np1 := m.N + 1
 	np := m.Np
 	diag := make([]float64, m.K*np)
 	// Diagonal of the tensor stiffness: A_ll = Σ_q D_ql² G... computed
 	// exactly from the factorized form: for node l=(i,j[,k]),
 	// diag += Σ_p Dᵀ... Using the identity
 	// (A)_{ll} = Σ_m D[m][i]² Grr(m,j) + 2 D[i][i] D[j][j] Grs(i,j) + Σ_m D[m][j]² Gss(i,m).
-	if m.Dim == 2 {
-		for e := 0; e < m.K; e++ {
-			off := e * np
-			for j := 0; j < np1; j++ {
-				for i := 0; i < np1; i++ {
-					var s float64
-					for p := 0; p < np1; p++ {
-						dpi := m.D[p*np1+i]
-						s += dpi * dpi * m.G[0][off+j*np1+p]
-					}
-					for p := 0; p < np1; p++ {
-						dpj := m.D[p*np1+j]
-						s += dpj * dpj * m.G[2][off+p*np1+i]
-					}
-					s += 2 * m.D[i*np1+i] * m.D[j*np1+j] * m.G[1][off+j*np1+i]
-					l := off + j*np1 + i
-					diag[l] = h1*s + h2*m.B[l]
-				}
-			}
-		}
-	} else {
-		for e := 0; e < m.K; e++ {
-			off := e * np
-			idx := func(i, j, k int) int { return off + (k*np1+j)*np1 + i }
-			for k := 0; k < np1; k++ {
-				for j := 0; j < np1; j++ {
-					for i := 0; i < np1; i++ {
-						var s float64
-						for p := 0; p < np1; p++ {
-							dpi := m.D[p*np1+i]
-							s += dpi * dpi * m.G[0][idx(p, j, k)]
-							dpj := m.D[p*np1+j]
-							s += dpj * dpj * m.G[3][idx(i, p, k)]
-							dpk := m.D[p*np1+k]
-							s += dpk * dpk * m.G[5][idx(i, j, p)]
-						}
-						dii, djj, dkk := m.D[i*np1+i], m.D[j*np1+j], m.D[k*np1+k]
-						s += 2 * dii * djj * m.G[1][idx(i, j, k)]
-						s += 2 * dii * dkk * m.G[2][idx(i, j, k)]
-						s += 2 * djj * dkk * m.G[4][idx(i, j, k)]
-						l := idx(i, j, k)
-						diag[l] = h1*s + h2*m.B[l]
-					}
-				}
-			}
-		}
+	for e := 0; e < m.K; e++ {
+		d.HelmholtzDiagElement(diag[e*np:(e+1)*np], e, h1, h2)
 	}
 	d.GS.Apply(diag, gs.Sum)
 	// Dirichlet rows: unit diagonal so Jacobi inversion stays defined.
@@ -291,32 +246,13 @@ func (d *Disc) Grad(outs [][]float64, u []float64) {
 // gradOneElement computes element e's physical-space gradient using the
 // supplied scratch.
 func (d *Disc) gradOneElement(outs [][]float64, u []float64, e int, s []float64) {
-	m := d.M
-	np1 := m.N + 1
-	np := m.Np
-	ue := u[e*np : (e+1)*np]
-	off := e * np
-	if m.Dim == 2 {
-		ur, us := s[:np], s[np:2*np]
-		tensor.ApplyR2D(ur, m.D, ue, np1, np1, np1)
-		tensor.ApplyS2D(us, m.D, ue, np1, np1, np1)
-		rx, ry, sx, sy := m.RX[0], m.RX[1], m.RX[2], m.RX[3]
-		for i := 0; i < np; i++ {
-			outs[0][off+i] = rx[off+i]*ur[i] + sx[off+i]*us[i]
-			outs[1][off+i] = ry[off+i]*ur[i] + sy[off+i]*us[i]
-		}
-		return
+	np := d.M.Np
+	i0, i1 := e*np, (e+1)*np
+	var o2 []float64
+	if d.M.Dim == 3 {
+		o2 = outs[2][i0:i1]
 	}
-	ur, us, ut := s[:np], s[np:2*np], s[2*np:3*np]
-	tensor.ApplyR3D(ur, m.D, ue, np1, np1, np1, np1)
-	tensor.ApplyS3D(us, m.D, ue, np1, np1, np1, np1)
-	tensor.ApplyT3D(ut, m.D, ue, np1, np1, np1, np1)
-	for i := 0; i < np; i++ {
-		gi := off + i
-		outs[0][gi] = m.RX[0][gi]*ur[i] + m.RX[3][gi]*us[i] + m.RX[6][gi]*ut[i]
-		outs[1][gi] = m.RX[1][gi]*ur[i] + m.RX[4][gi]*us[i] + m.RX[7][gi]*ut[i]
-		outs[2][gi] = m.RX[2][gi]*ur[i] + m.RX[5][gi]*us[i] + m.RX[8][gi]*ut[i]
-	}
+	d.gradElementBlocks(outs[0][i0:i1], outs[1][i0:i1], o2, u[i0:i1], e, s)
 }
 
 // Dot is the inner product for element-local redundant storage: each global
@@ -406,21 +342,8 @@ func (d *Disc) ApplyFilter(f *Filter, u []float64) {
 
 // filterOneElement applies the tensor-product filter to element e in place.
 func (d *Disc) filterOneElement(f *Filter, u []float64, e int, s []float64) {
-	m := d.M
-	np1 := f.np1
-	np := m.Np
-	ue := u[e*np : (e+1)*np]
-	if m.Dim == 2 {
-		work, out := s[:np], s[np:2*np]
-		tensor.Apply2D(out, f.F, f.F, ue, work, np1, np1, np1, np1)
-		copy(ue, out)
-		return
-	}
-	need := tensor.Work3DLen(np1, np1, np1, np1, np1, np1)
-	work := s[:need]
-	out := s[need : need+np]
-	tensor.Apply3D(out, f.F, f.F, f.F, ue, work, np1, np1, np1, np1, np1, np1)
-	copy(ue, out)
+	np := d.M.Np
+	d.filterElementBlock(f, u[e*np:(e+1)*np], s)
 }
 
 // BuildAssembledCSR materializes the assembled, masked stiffness operator as

@@ -1,0 +1,60 @@
+package solver
+
+import (
+	"math"
+	"testing"
+)
+
+// TestCGReturnsBestIterateAtRoundoffFloor: when the tolerance sits below
+// what finite precision can deliver, CG idles at the roundoff floor where a
+// near-breakdown step (tiny positive p·q, huge alpha) can catapult the
+// iterate far from the solution before a stopping guard fires. Whatever
+// path the solve exits through — convergence of the recursive residual,
+// breakdown, divergence guard, or MaxIter — the returned iterate must
+// realize a residual at the floor, never the catapulted one. Sweeping many
+// right-hand sides makes at least some trajectories take the bad step.
+func TestCGReturnsBestIterateAtRoundoffFloor(t *testing.T) {
+	n := 200
+	apply := func(out, in []float64) {
+		for i := range in {
+			s := 2 * in[i]
+			if i > 0 {
+				s -= in[i-1]
+			}
+			if i < n-1 {
+				s -= in[i+1]
+			}
+			out[i] = s
+		}
+	}
+	dot := func(u, v []float64) float64 {
+		var s float64
+		for i := range u {
+			s += u[i] * v[i]
+		}
+		return s
+	}
+	b := make([]float64, n)
+	x := make([]float64, n)
+	r := make([]float64, n)
+	for seed := 1; seed <= 20; seed++ {
+		for i := range b {
+			b[i] = math.Sin(float64((i + 1) * seed))
+		}
+		for i := range x {
+			x[i] = 0
+		}
+		st := CG(apply, dot, x, b, Options{Tol: 1e-30, Relative: true, MaxIter: 3000})
+		apply(r, x)
+		var res float64
+		for i := range r {
+			res += (b[i] - r[i]) * (b[i] - r[i])
+		}
+		res = math.Sqrt(res)
+		// cond(A) ~ 1.6e4, so the true-residual floor is ~eps·cond·‖b‖.
+		if res > 1e-9 {
+			t.Errorf("seed %d: returned iterate has true residual %g (iters %d, conv %v, reported %g)",
+				seed, res, st.Iterations, st.Converged, st.FinalRes)
+		}
+	}
+}

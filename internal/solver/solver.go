@@ -61,19 +61,20 @@ type Options struct {
 // Scratch holds the CG work vectors; it grows on demand and may be reused
 // across solves of different sizes.
 type Scratch struct {
-	r, z, p, q []float64
+	r, z, p, q, xb []float64
 }
 
-// vectors returns the four length-n work arrays, growing the backing
+// vectors returns the five length-n work arrays, growing the backing
 // storage if needed.
-func (s *Scratch) vectors(n int) (r, z, p, q []float64) {
+func (s *Scratch) vectors(n int) (r, z, p, q, xb []float64) {
 	if cap(s.r) < n {
 		s.r = make([]float64, n)
 		s.z = make([]float64, n)
 		s.p = make([]float64, n)
 		s.q = make([]float64, n)
+		s.xb = make([]float64, n)
 	}
-	return s.r[:n], s.z[:n], s.p[:n], s.q[:n]
+	return s.r[:n], s.z[:n], s.p[:n], s.q[:n], s.xb[:n]
 }
 
 // CG solves A x = b by preconditioned conjugate gradients, starting from
@@ -108,14 +109,15 @@ func CG(apply Operator, dot Dot, x, b []float64, opt Options) Stats {
 
 func cg(apply Operator, dot Dot, x, b []float64, opt Options) Stats {
 	n := len(b)
-	var r, z, p, q []float64
+	var r, z, p, q, xb []float64
 	if opt.Scratch != nil {
-		r, z, p, q = opt.Scratch.vectors(n)
+		r, z, p, q, xb = opt.Scratch.vectors(n)
 	} else {
 		r = make([]float64, n)
 		z = make([]float64, n)
 		p = make([]float64, n)
 		q = make([]float64, n)
+		xb = make([]float64, n)
 	}
 
 	// r = b - A x.
@@ -159,13 +161,26 @@ func cg(apply Operator, dot Dot, x, b []float64, opt Options) Stats {
 	if maxIter <= 0 {
 		maxIter = n
 	}
+	// Every exit that is not a clean convergence returns the best iterate
+	// seen, not the last one. When the tolerance sits below what finite
+	// precision can deliver, CG idles at the roundoff floor where p·q can
+	// be arbitrarily small but positive; a single step with the resulting
+	// huge alpha catapults x far from the solution while the residual jumps
+	// several orders. Which iteration that happens on depends on rounding,
+	// so without the best-iterate restore the returned x is effectively
+	// arbitrary — SPMD runs would disagree with serial by O(1e-3) from
+	// reduction-order roundoff alone. All decisions below derive from
+	// collective dots, so they are uniform across SPMD ranks.
+	best := res
+	copy(xb, x)
 	for it := 1; it <= maxIter; it++ {
 		apply(q, p)
 		pq := dot(p, q)
 		if pq <= 0 {
 			// Operator not SPD on this subspace (or breakdown): stop.
 			st.Iterations = it - 1
-			st.FinalRes = res
+			st.FinalRes = best
+			copy(x, xb)
 			return st
 		}
 		alpha := rz / pq
@@ -183,6 +198,17 @@ func cg(apply Operator, dot Dot, x, b []float64, opt Options) Stats {
 			st.FinalRes = res
 			return st
 		}
+		if res < best {
+			best = res
+			copy(xb, x)
+		} else if !(res <= 1e4*best) {
+			// Four orders above the best achieved (or NaN): diverging in
+			// roundoff. Hand back the best iterate.
+			st.Iterations = it
+			st.FinalRes = best
+			copy(x, xb)
+			return st
+		}
 		precond(z, r)
 		rz2 := dot(r, z)
 		beta := rz2 / rz
@@ -192,7 +218,8 @@ func cg(apply Operator, dot Dot, x, b []float64, opt Options) Stats {
 		}
 	}
 	st.Iterations = maxIter
-	st.FinalRes = res
+	st.FinalRes = best
+	copy(x, xb)
 	return st
 }
 

@@ -311,7 +311,7 @@ func TestProjectorSteadyStateAllocFree(t *testing.T) {
 	b := make([]float64, n)
 	solve := func(k int) {
 		for i := range b {
-			b[i] = math.Sin(float64(i*k+1)) // fresh RHS each call
+			b[i] = math.Sin(float64(i*k + 1)) // fresh RHS each call
 		}
 		p.ProjectAndSolve(x, b, opt)
 	}

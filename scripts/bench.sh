@@ -16,15 +16,16 @@
 #                               validated, not committed
 #
 # Environment overrides:
-#   BENCH_REGEX    benchmark selector (default: Table 1 stepping + Table 3
-#                  kernels — the benchmarks tracked in BENCH_3.json)
+#   BENCH_REGEX    benchmark selector (default: Table 1 stepping, the
+#                  distributed channel stepper, and Table 3 kernels — the
+#                  benchmarks tracked in BENCH_3.json)
 #   BENCH_TIME     -benchtime value for the full run (default 1s)
 #   BENCH_COUNT    -count value for the full run (default 1)
 #   BENCH_OUT      artifact path for the full run (default BENCH_3.json)
 set -eu
 cd "$(dirname "$0")/.."
 
-regex="${BENCH_REGEX:-BenchmarkTable1ChannelStep$|BenchmarkTable1ChannelStepW4$|BenchmarkTable1ChannelStepTuned$|BenchmarkTable3}"
+regex="${BENCH_REGEX:-BenchmarkTable1ChannelStep$|BenchmarkTable1ChannelStepW4$|BenchmarkTable1ChannelStepTuned$|BenchmarkChannelStepDistributed$|BenchmarkTable3}"
 mode="${1:-full}"
 
 tmp="$(mktemp -d)"

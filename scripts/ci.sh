@@ -28,4 +28,10 @@ go run ./cmd/semflow -case shearlayer -nel 4 -n 5 -steps 2 -report 1 \
 go run ./cmd/tracecheck -trace "$tmp/trace.json" -min-ranks 4 \
     -history "$tmp/history.jsonl"
 
+echo "== smoke: distributed stepper (-ranks) artifacts validate =="
+go run ./cmd/semflow -case channel -n 5 -ranks 4 -steps 2 -report 1 \
+    -trace "$tmp/dist-trace.json" -history "$tmp/dist-history.jsonl"
+go run ./cmd/tracecheck -trace "$tmp/dist-trace.json" -min-ranks 4 \
+    -history "$tmp/dist-history.jsonl"
+
 echo "CI OK"
