@@ -20,6 +20,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 
+	"repro/internal/fault"
 	"repro/internal/flowcases"
 	"repro/internal/instrument"
 	"repro/internal/la"
@@ -42,6 +43,10 @@ func main() {
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON (Perfetto-loadable) to this file")
 	traceRanks := flag.Int("trace-ranks", 8, "simulated ranks for the traced distributed solve")
 	ranks := flag.Int("ranks", 0, "run the whole time loop distributed over this many simulated ranks (0: serial shared-memory stepper)")
+	faultsPath := flag.String("faults", "", "fault plan JSON degrading the simulated machine: stragglers, link jitter, drops with retry, pauses (requires -ranks)")
+	ckptDir := flag.String("checkpoint", "", "write versioned stepper snapshots into this directory (requires -ranks)")
+	ckptEvery := flag.Int("checkpoint-every", 10, "steps between snapshots when -checkpoint is set")
+	resume := flag.Bool("resume", false, "continue from the latest snapshot in the -checkpoint directory (requires -ranks)")
 	historyOut := flag.String("history", "", "write per-step convergence telemetry (JSONL) to this file")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file")
@@ -60,9 +65,17 @@ func main() {
 	}
 
 	if *ranks > 0 {
-		runDistributed(*caseName, *ranks, *steps, *n, *nel, *alpha, *every,
-			*stats, *statsJSON, *traceOut, *historyOut)
+		runDistributed(distOpts{
+			caseName: *caseName, ranks: *ranks, steps: *steps, n: *n, nel: *nel,
+			alpha: *alpha, every: *every, stats: *stats, statsJSON: *statsJSON,
+			traceOut: *traceOut, historyOut: *historyOut,
+			faultsPath: *faultsPath, ckptDir: *ckptDir, ckptEvery: *ckptEvery,
+			resume: *resume,
+		})
 		return
+	}
+	if *faultsPath != "" || *ckptDir != "" || *resume {
+		log.Fatal("-faults/-checkpoint/-resume apply to the distributed stepper: add -ranks P")
 	}
 
 	var s *ns.Solver
@@ -210,55 +223,96 @@ func main() {
 	}
 }
 
+// distOpts bundles the CLI switches of a distributed run.
+type distOpts struct {
+	caseName             string
+	ranks, steps, n, nel int
+	alpha                float64
+	every                int
+	stats, statsJSON     bool
+	traceOut, historyOut string
+	faultsPath, ckptDir  string
+	ckptEvery            int
+	resume               bool
+}
+
 // runDistributed runs the selected case's whole time loop as an SPMD
 // program on the simulated machine (parrun.NavierStokes): RSB element
 // ownership per rank, distributed gather–scatter assembly, allreduce inner
 // products, and a per-rank virtual-clock trace track for every stepper
 // phase. The same -trace/-history/-stats artifacts come out of the
 // distributed run directly — no separate traced Poisson solve is needed.
-func runDistributed(caseName string, ranks, steps, n, nel int, alpha float64,
-	every int, stats, statsJSON bool, traceOut, historyOut string) {
+// -faults degrades the simulated machine with a seeded plan, -checkpoint
+// snapshots the stepper every -checkpoint-every steps, and -resume picks up
+// a bitwise-identical continuation from the latest snapshot.
+func runDistributed(o distOpts) {
 	var cfg ns.Config
 	var init flowcases.InitFunc
 	var err error
-	switch caseName {
+	switch o.caseName {
 	case "shearlayer":
 		cfg, init, err = flowcases.ShearLayerSpec(flowcases.ShearLayerConfig{
-			Nel: nel, N: n, Rho: 30, Re: 1e5, Dt: 0.002, Alpha: alpha,
+			Nel: o.nel, N: o.n, Rho: 30, Re: 1e5, Dt: 0.002, Alpha: o.alpha,
 		})
 	case "channel":
 		cfg, init, _, err = flowcases.ChannelSpec(flowcases.ChannelConfig{
-			Re: 7500, Alpha: 1, N: n, Dt: 0.003125, Order: 2, Filter: alpha,
+			Re: 7500, Alpha: 1, N: o.n, Dt: 0.003125, Order: 2, Filter: o.alpha,
 		})
 	case "hairpin":
 		cfg, init, err = flowcases.HairpinSpec(flowcases.HairpinConfig{
-			Nx: 6, Ny: 4, Nz: 3, N: n, Re: 1600, Dt: 0.05, FilterA: alpha,
+			Nx: 6, Ny: 4, Nz: 3, N: o.n, Re: 1600, Dt: 0.05, FilterA: o.alpha,
 		})
 	case "convection":
 		err = fmt.Errorf("case convection carries scalar transport, which the distributed stepper does not support")
 	default:
-		err = fmt.Errorf("unknown case %q", caseName)
+		err = fmt.Errorf("unknown case %q", o.caseName)
 	}
 	if err != nil {
 		log.Fatal(err)
 	}
+	var plan *fault.Plan
+	if o.faultsPath != "" {
+		if plan, err = fault.Load(o.faultsPath); err != nil {
+			log.Fatal(err)
+		}
+	}
+	var ck *parrun.Checkpoint
+	if o.resume {
+		if o.ckptDir == "" {
+			log.Fatal("-resume needs -checkpoint DIR to find the snapshots")
+		}
+		path, err := parrun.LatestCheckpoint(o.ckptDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if path == "" {
+			log.Fatalf("-resume: no snapshots in %s", o.ckptDir)
+		}
+		if ck, err = parrun.LoadCheckpoint(path); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("resuming from %s (completed steps: %d)\n", path, ck.Step)
+	}
 	var reg *instrument.Registry
-	if stats || statsJSON {
+	if o.stats || o.statsJSON {
 		reg = instrument.New()
 	}
 	var tracer *instrument.Tracer
-	if traceOut != "" {
+	if o.traceOut != "" {
 		tracer = instrument.NewTracer()
 	}
 	var history *instrument.TimeSeries
-	if historyOut != "" {
+	if o.historyOut != "" {
 		history = instrument.NewTimeSeries()
 	}
 	m := cfg.Mesh
 	fmt.Printf("case=%s  K=%d  N=%d  dofs/component=%d  ranks=%d (distributed)\n",
-		caseName, m.K, m.N, m.K*m.Np, ranks)
+		o.caseName, m.K, m.N, m.K*m.Np, o.ranks)
 	res, err := parrun.NavierStokes(cfg, parrun.NSConfig{
-		P: ranks, Steps: steps, Init: init,
+		P: o.ranks, Steps: o.steps, Init: init,
+		Faults:        plan,
+		CheckpointDir: o.ckptDir, CheckpointEvery: o.ckptEvery,
+		Resume:   ck,
 		Registry: reg, Tracer: tracer, History: history,
 	})
 	if err != nil {
@@ -270,12 +324,12 @@ func runDistributed(caseName string, ranks, steps, n, nel int, alpha float64,
 	}
 	fmt.Printf("%6s %9s %6s %8s %8s %8s %12s\n",
 		"step", "t", "CFL", "p-iters", "h-iters", "basis", "p-res")
-	for i, st := range res.StepStats {
-		if (i+1)%every != 0 {
+	for _, st := range res.StepStats {
+		if st.Step%o.every != 0 {
 			continue
 		}
 		fmt.Printf("%6d %9.4f %6.2f %8d %8d %8d %12.3e\n",
-			i+1, cfg.Dt*float64(i+1), st.CFL, st.PressureIters,
+			st.Step, st.Time, st.CFL, st.PressureIters,
 			st.HelmholtzIters[0], st.ProjectionBasis, st.PressureResFinal)
 	}
 	if !res.Converged {
@@ -285,8 +339,16 @@ func runDistributed(caseName string, ranks, steps, n, nel int, alpha float64,
 	fmt.Printf("\ndistributed run: P=%d steps=%d virtual=%.3es traffic=%.1fkB/%d msgs cut-edges=%d\n",
 		res.P, res.Steps, res.VirtualSeconds,
 		float64(res.TotalBytes)/1024, res.TotalMsgs, res.CutEdges)
+	if plan != nil {
+		fmt.Printf("fault recovery: drops=%d retries=%d pauses=%d stall=%.3es (virtual, summed over ranks)\n",
+			res.Drops, res.Retries, res.Pauses, res.FaultStallSec)
+	}
+	if res.CheckpointsWritten > 0 {
+		fmt.Printf("wrote %d snapshots to %s (every %d steps)\n",
+			res.CheckpointsWritten, o.ckptDir, o.ckptEvery)
+	}
 	if tracer != nil {
-		f, err := os.Create(traceOut)
+		f, err := os.Create(o.traceOut)
 		if err != nil {
 			log.Fatalf("trace: %v", err)
 		}
@@ -297,10 +359,10 @@ func runDistributed(caseName string, ranks, steps, n, nel int, alpha float64,
 			log.Fatalf("trace: %v", err)
 		}
 		fmt.Printf("wrote %d trace events to %s (load in https://ui.perfetto.dev)\n",
-			tracer.Len(), traceOut)
+			tracer.Len(), o.traceOut)
 	}
 	if history != nil {
-		f, err := os.Create(historyOut)
+		f, err := os.Create(o.historyOut)
 		if err != nil {
 			log.Fatalf("history: %v", err)
 		}
@@ -310,11 +372,11 @@ func runDistributed(caseName string, ranks, steps, n, nel int, alpha float64,
 		if err := f.Close(); err != nil {
 			log.Fatalf("history: %v", err)
 		}
-		fmt.Printf("wrote %d per-step telemetry records to %s\n", history.Len(), historyOut)
+		fmt.Printf("wrote %d per-step telemetry records to %s\n", history.Len(), o.historyOut)
 	}
 	if reg != nil {
 		rep := reg.Report()
-		if statsJSON {
+		if o.statsJSON {
 			j, err := rep.JSON()
 			if err != nil {
 				log.Fatal(err)

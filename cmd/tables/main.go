@@ -19,7 +19,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, table2, table3, table4, fig3, fig4, fig6, fig8 or all")
+	exp := flag.String("exp", "all", "experiment: table1, table2, table3, table4, fig3, fig4, fig6, fig8, faults or all")
 	quick := flag.Bool("quick", false, "reduced resolutions for fast runs")
 	flag.Parse()
 
@@ -32,9 +32,10 @@ func main() {
 		"fig4":   fig4,
 		"fig6":   fig6,
 		"fig8":   fig8,
+		"faults": faultsExp,
 	}
 	if *exp == "all" {
-		for _, name := range []string{"table1", "table2", "table3", "table4", "fig3", "fig4", "fig6", "fig8"} {
+		for _, name := range []string{"table1", "table2", "table3", "table4", "fig3", "fig4", "fig6", "fig8", "faults"} {
 			fmt.Printf("\n================ %s ================\n", name)
 			experiments[name](*quick)
 		}

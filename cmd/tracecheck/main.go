@@ -19,10 +19,11 @@ import (
 func main() {
 	tracePath := flag.String("trace", "", "Chrome trace-event JSON to validate")
 	minRanks := flag.Int("min-ranks", 0, "minimum distinct rank tracks required under the machine pid")
+	minFault := flag.Int("min-fault-events", 0, "minimum \"fault\"-category events (straggler/retry/pause spans) the trace must carry")
 	historyPath := flag.String("history", "", "per-step telemetry JSONL to validate")
 	flag.Parse()
 	if *tracePath == "" && *historyPath == "" {
-		fmt.Fprintln(os.Stderr, "usage: tracecheck [-trace file.json -min-ranks N] [-history file.jsonl]")
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-trace file.json -min-ranks N -min-fault-events N] [-history file.jsonl]")
 		os.Exit(2)
 	}
 	ok := true
@@ -31,9 +32,19 @@ func main() {
 		if err == nil {
 			err = instrument.ValidateChromeTrace(data, *minRanks)
 		}
+		nfault := 0
+		if err == nil && *minFault > 0 {
+			nfault, err = instrument.CountCategory(data, "fault")
+			if err == nil && nfault < *minFault {
+				err = fmt.Errorf("%d fault-category events, want >= %d", nfault, *minFault)
+			}
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", *tracePath, err)
 			ok = false
+		} else if *minFault > 0 {
+			fmt.Printf("%s: valid Chrome trace (>= %d rank tracks, %d fault events)\n",
+				*tracePath, *minRanks, nfault)
 		} else {
 			fmt.Printf("%s: valid Chrome trace (>= %d rank tracks)\n", *tracePath, *minRanks)
 		}

@@ -1,0 +1,148 @@
+package comm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// collectiveRankCounts covers P = 1, non-powers of two (including primes),
+// and powers of two, so both the recursive-doubling and binomial-tree code
+// paths run. These tests deliberately have no -short gate: they are the
+// -race coverage for the collectives.
+var collectiveRankCounts = []int{1, 2, 3, 5, 6, 7, 8, 12}
+
+// refReduce folds the per-rank vectors serially (rank order), matching the
+// deterministic reduction the simulated collectives promise.
+func refReduce(vecs [][]float64, op ReduceOp) []float64 {
+	out := append([]float64(nil), vecs[0]...)
+	for _, v := range vecs[1:] {
+		op(out, v)
+	}
+	return out
+}
+
+func TestAllreduceEdgeRankCounts(t *testing.T) {
+	ops := map[string]ReduceOp{"sum": OpSum, "max": OpMax, "min": OpMin}
+	for _, p := range collectiveRankCounts {
+		for name, op := range ops {
+			rng := rand.New(rand.NewSource(int64(100*p) + int64(len(name))))
+			n := 5
+			in := make([][]float64, p)
+			for q := range in {
+				in[q] = make([]float64, n)
+				for i := range in[q] {
+					in[q][i] = rng.NormFloat64()
+				}
+			}
+			// Sum is order-sensitive in floating point: compare against a
+			// tolerance. Max/min are exact.
+			want := refReduce(in, op)
+			got := make([][]float64, p)
+			NewNetwork(Machine{P: p, Latency: 1e-6, ByteSec: 1e-9}).Run(func(r *Rank) {
+				buf := append([]float64(nil), in[r.ID]...)
+				r.Allreduce(buf, op)
+				got[r.ID] = buf
+			})
+			for q := 1; q < p; q++ {
+				for i := range got[0] {
+					if got[q][i] != got[0][i] {
+						t.Fatalf("P=%d %s: rank %d result differs from rank 0 at %d (%g vs %g)",
+							p, name, q, i, got[q][i], got[0][i])
+					}
+				}
+			}
+			for i := range want {
+				if math.Abs(got[0][i]-want[i]) > 1e-12*(1+math.Abs(want[i])) {
+					t.Fatalf("P=%d %s: element %d = %g, want %g", p, name, i, got[0][i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestBcastEdgeRankCounts(t *testing.T) {
+	for _, p := range collectiveRankCounts {
+		roots := []int{0}
+		if p > 1 {
+			roots = append(roots, p-1)
+		}
+		for _, root := range roots {
+			want := []float64{3.5, -1.25, float64(root)}
+			got := make([][]float64, p)
+			NewNetwork(Machine{P: p, Latency: 1e-6, ByteSec: 1e-9}).Run(func(r *Rank) {
+				buf := make([]float64, len(want))
+				if r.ID == root {
+					copy(buf, want)
+				}
+				r.Bcast(buf, root)
+				got[r.ID] = buf
+			})
+			for q := 0; q < p; q++ {
+				for i := range want {
+					if got[q][i] != want[i] {
+						t.Fatalf("P=%d root=%d: rank %d got %v, want %v", p, root, q, got[q], want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestGatherEdgeRankCounts(t *testing.T) {
+	for _, p := range collectiveRankCounts {
+		roots := []int{0}
+		if p > 1 {
+			roots = append(roots, p/2, p-1)
+		}
+		for _, root := range roots {
+			n := 3
+			got := make([][]float64, p)
+			NewNetwork(Machine{P: p, Latency: 1e-6, ByteSec: 1e-9}).Run(func(r *Rank) {
+				data := make([]float64, n)
+				for i := range data {
+					data[i] = float64(10*r.ID + i)
+				}
+				got[r.ID] = r.Gather(data, root)
+			})
+			for q := 0; q < p; q++ {
+				if q != root {
+					if got[q] != nil {
+						t.Fatalf("P=%d root=%d: non-root rank %d got non-nil", p, root, q)
+					}
+					continue
+				}
+				if len(got[q]) != p*n {
+					t.Fatalf("P=%d root=%d: gathered %d values, want %d", p, root, len(got[q]), p*n)
+				}
+				for src := 0; src < p; src++ {
+					for i := 0; i < n; i++ {
+						if got[q][src*n+i] != float64(10*src+i) {
+							t.Fatalf("P=%d root=%d: block %d element %d = %g, want %g",
+								p, root, src, i, got[q][src*n+i], float64(10*src+i))
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBarrierEdgeRankCounts(t *testing.T) {
+	for _, p := range collectiveRankCounts {
+		ranks := NewNetwork(Machine{P: p, Latency: 1e-6, ByteSec: 1e-9, FlopSec: 1e-8}).Run(func(r *Rank) {
+			// Skew the clocks so the barrier has real work to synchronize.
+			r.Compute(int64(1000 * (r.ID + 1)))
+			r.Barrier()
+		})
+		if p > 1 {
+			// After a barrier every rank has seen every other rank's clock.
+			tmax := MaxTime(ranks)
+			for _, r := range ranks {
+				if r.Time < tmax*0.5 {
+					t.Fatalf("P=%d: rank %d clock %g far below barrier completion %g", p, r.ID, r.Time, tmax)
+				}
+			}
+		}
+	}
+}

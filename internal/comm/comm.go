@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/instrument"
 )
 
@@ -97,6 +98,12 @@ type netInstr struct {
 	bcast     collectiveInstr
 	gather    collectiveInstr
 	barrier   collectiveInstr
+
+	// Fault-injection bookkeeping (all zero without a plan).
+	faultDrops   *instrument.Counter
+	faultRetries *instrument.Counter
+	faultPauses  *instrument.Counter
+	faultStall   *instrument.Timer // virtual time lost to faults
 }
 
 // Network is an instantiated machine: use Run to execute an SPMD function.
@@ -105,6 +112,7 @@ type Network struct {
 	inboxes []*mailbox
 	instr   *netInstr
 	tracer  *instrument.Tracer
+	faults  *fault.Plan
 }
 
 // NewNetwork allocates the communication structure for the machine.
@@ -133,13 +141,29 @@ func (n *Network) Attach(reg *instrument.Registry) {
 		}
 	}
 	n.instr = &netInstr{
-		sendMsgs:  reg.Counter("comm/send.msgs"),
-		sendBytes: reg.Counter("comm/send.bytes"),
-		allreduce: col("allreduce"),
-		bcast:     col("bcast"),
-		gather:    col("gather"),
-		barrier:   col("barrier"),
+		sendMsgs:     reg.Counter("comm/send.msgs"),
+		sendBytes:    reg.Counter("comm/send.bytes"),
+		allreduce:    col("allreduce"),
+		bcast:        col("bcast"),
+		gather:       col("gather"),
+		barrier:      col("barrier"),
+		faultDrops:   reg.Counter("comm/fault.drops"),
+		faultRetries: reg.Counter("comm/fault.retries"),
+		faultPauses:  reg.Counter("comm/fault.pauses"),
+		faultStall:   reg.Timer("comm/fault.stall"),
 	}
+}
+
+// SetFaults installs a fault plan: from now on every Send, Recv delivery,
+// and Compute consults it (seeded deterministic stragglers, link jitter,
+// message drops with timeout + bounded-retry recovery, and rank pauses).
+// Call before Run; nil detaches and restores the exact fault-free
+// arithmetic. The plan is normalized in place (retry protocol defaults).
+func (n *Network) SetFaults(p *fault.Plan) {
+	if p != nil {
+		p.Normalize()
+	}
+	n.faults = p
 }
 
 // AttachTracer wires span emission into tr: every collective becomes a
@@ -167,11 +191,76 @@ type Rank struct {
 	MsgsSent  int64
 	Flops     int64
 
+	// Fault bookkeeping (zero without a plan). Drops counts delivery
+	// attempts the network lost; Retries the retransmissions that recovered
+	// them (equal unless a message exhausted its retry budget, which
+	// panics); Pauses the pause windows this rank waited out; StallSec the
+	// total virtual time the faults cost this rank.
+	Drops    int64
+	Retries  int64
+	Pauses   int64
+	StallSec float64
+
 	pending []message
 	flowSeq int64 // per-sender flow-id sequence (deterministic, no global state)
+	sendSeq int64 // per-sender message sequence feeding the fault plan's draws
 }
 
-type pendingKey struct{ from, tag int }
+// ClockState is the checkpointable slice of a rank's communication state:
+// the virtual clock, the traffic counters, and the deterministic sequence
+// counters that feed trace flow ids and fault draws. Restoring it makes a
+// resumed rank continue exactly where the snapshot left off.
+type ClockState struct {
+	Time      float64
+	BytesSent int64
+	MsgsSent  int64
+	Flops     int64
+	Drops     int64
+	Retries   int64
+	Pauses    int64
+	StallSec  float64
+	FlowSeq   int64
+	SendSeq   int64
+}
+
+// Clock captures the rank's current clock state for a checkpoint.
+func (r *Rank) Clock() ClockState {
+	return ClockState{Time: r.Time, BytesSent: r.BytesSent, MsgsSent: r.MsgsSent,
+		Flops: r.Flops, Drops: r.Drops, Retries: r.Retries, Pauses: r.Pauses,
+		StallSec: r.StallSec, FlowSeq: r.flowSeq, SendSeq: r.sendSeq}
+}
+
+// SetClock restores a checkpointed clock state.
+func (r *Rank) SetClock(cs ClockState) {
+	r.Time, r.BytesSent, r.MsgsSent, r.Flops = cs.Time, cs.BytesSent, cs.MsgsSent, cs.Flops
+	r.Drops, r.Retries, r.Pauses, r.StallSec = cs.Drops, cs.Retries, cs.Pauses, cs.StallSec
+	r.flowSeq, r.sendSeq = cs.FlowSeq, cs.SendSeq
+}
+
+// maybePause advances the clock past any pause window the rank's clock sits
+// inside (the node-loss stand-in: the rank freezes, then resumes with its
+// state intact). Called at the start of every clock-advancing operation.
+func (r *Rank) maybePause() {
+	pl := r.net.faults
+	if pl == nil {
+		return
+	}
+	end, hit := pl.PauseEnd(r.ID, r.Time)
+	if !hit {
+		return
+	}
+	t0 := r.Time
+	r.Time = end
+	r.Pauses++
+	r.StallSec += end - t0
+	if in := r.net.instr; in != nil {
+		in.faultPauses.Inc()
+		in.faultStall.Add(time.Duration((end - t0) * float64(time.Second)))
+	}
+	if tr := r.net.tracer; tr != nil {
+		tr.SpanV(r.ID, "fault/pause", "fault", t0, end, nil)
+	}
+}
 
 // Run executes body on every rank concurrently and returns the per-rank
 // states after completion (for clock/traffic inspection).
@@ -195,13 +284,57 @@ func (n *Network) Run(body func(r *Rank)) []*Rank {
 // advances by the full message cost α + β·bytes (single-port model); the
 // message carries its arrival time. Delivery is unbounded: Send never
 // blocks, whatever the receiver's backlog.
+//
+// Under a fault plan, every delivery attempt may be dropped: a dropped
+// attempt costs the sender the transmit time plus the retransmit timeout
+// before the next try, bounded by the plan's MaxRetries (exhaustion panics
+// — a lost message is a simulation-level failure, not a silent hang).
+// Matching jitter rules add seeded extra latency. Without a plan the
+// arithmetic is bitwise identical to the fault-free path.
 func (r *Rank) Send(to, tag int, data []float64) {
 	if to == r.ID {
 		panic("comm: self-send")
 	}
+	r.maybePause()
 	bytes := 8 * len(data)
+	base := r.net.Latency + float64(bytes)*r.net.ByteSec
+	var extra float64
+	if pl := r.net.faults; pl != nil {
+		r.sendSeq++
+		extra = pl.SendDelay(r.ID, to, r.sendSeq)
+		if extra > 0 {
+			r.StallSec += extra
+			if in := r.net.instr; in != nil {
+				in.faultStall.Add(time.Duration(extra * float64(time.Second)))
+			}
+		}
+		for attempt := 0; pl.DropAttempt(r.ID, to, r.sendSeq, attempt); attempt++ {
+			if attempt >= pl.MaxRetries {
+				panic(fmt.Sprintf("comm: message rank %d -> %d (tag %d) lost after %d attempts",
+					r.ID, to, tag, attempt+1))
+			}
+			ta := r.Time
+			r.Time += base + pl.RetryTimeout
+			r.BytesSent += int64(bytes)
+			r.MsgsSent++
+			r.Drops++
+			r.Retries++
+			r.StallSec += base + pl.RetryTimeout
+			if in := r.net.instr; in != nil {
+				in.sendMsgs.Inc()
+				in.sendBytes.Add(int64(bytes))
+				in.faultDrops.Inc()
+				in.faultRetries.Inc()
+				in.faultStall.Add(time.Duration((base + pl.RetryTimeout) * float64(time.Second)))
+			}
+			if tr := r.net.tracer; tr != nil {
+				tr.SpanV(r.ID, "fault/retry", "fault", ta, r.Time,
+					map[string]any{"to": to, "tag": tag, "attempt": attempt + 1, "bytes": bytes})
+			}
+		}
+	}
 	t0 := r.Time
-	r.Time += r.net.Latency + float64(bytes)*r.net.ByteSec
+	r.Time += base + extra
 	r.BytesSent += int64(bytes)
 	r.MsgsSent++
 	if in := r.net.instr; in != nil {
@@ -241,11 +374,13 @@ func (r *Rank) Recv(from, tag int) []float64 {
 }
 
 // deliver advances the receiver's clock to the message arrival time and
-// closes the trace flow arrow opened by the matching Send.
+// closes the trace flow arrow opened by the matching Send. A receiver
+// paused when the message lands picks it up once the pause window ends.
 func (r *Rank) deliver(m message) []float64 {
 	if m.arrival > r.Time {
 		r.Time = m.arrival
 	}
+	r.maybePause()
 	if tr := r.net.tracer; tr != nil && m.flow != "" {
 		tr.FlowV("f", r.ID, "msg", r.Time, m.flow)
 		tr.InstantV(r.ID, "recv", "comm", r.Time,
@@ -255,10 +390,30 @@ func (r *Rank) deliver(m message) []float64 {
 }
 
 // Compute advances the virtual clock by the modeled time of nflops local
-// floating-point operations.
+// floating-point operations. Under a fault plan, matching straggler windows
+// multiply the cost; the excess appears as a fault span on the rank's track
+// so the trace shows exactly where the straggler bit.
 func (r *Rank) Compute(nflops int64) {
 	r.Flops += nflops
-	r.Time += float64(nflops) * r.net.FlopSec
+	dt := float64(nflops) * r.net.FlopSec
+	if pl := r.net.faults; pl != nil {
+		r.maybePause()
+		if f := pl.ComputeFactor(r.ID, r.Time); f != 1 {
+			t0 := r.Time
+			r.Time += dt * f
+			extra := dt*f - dt
+			r.StallSec += extra
+			if in := r.net.instr; in != nil {
+				in.faultStall.Add(time.Duration(extra * float64(time.Second)))
+			}
+			if tr := r.net.tracer; tr != nil && extra > 0 {
+				tr.SpanV(r.ID, "fault/straggler", "fault", t0+dt, r.Time,
+					map[string]any{"factor": f})
+			}
+			return
+		}
+	}
+	r.Time += dt
 }
 
 // P returns the number of ranks.

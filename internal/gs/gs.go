@@ -12,6 +12,7 @@ package gs
 import (
 	"slices"
 	"sync"
+	"time"
 
 	"repro/internal/comm"
 	"repro/internal/instrument"
@@ -165,9 +166,11 @@ type ParHandle struct {
 	allIdx     map[int64][]int32 // gid -> all local indices
 
 	// Exchange-volume instrumentation (nil = off): messages and 8-byte
-	// words sent per Apply.
+	// words sent per Apply, plus the virtual time each exchange spans
+	// (which a fault plan inflates: retries and stragglers land here).
 	exchMsgs  *instrument.Counter
 	exchWords *instrument.Counter
+	exchVTime *instrument.Timer
 	tracer    *instrument.Tracer
 }
 
@@ -284,6 +287,7 @@ func ParInit(r *comm.Rank, gids []int64) *ParHandle {
 func (h *ParHandle) Attach(reg *instrument.Registry) {
 	h.exchMsgs = reg.Counter("gs/exchange.msgs")
 	h.exchWords = reg.Counter("gs/exchange.words")
+	h.exchVTime = reg.Timer("gs/exchange.vtime")
 }
 
 // AttachTracer makes every Apply emit a virtual-clock span on the owning
@@ -331,6 +335,7 @@ func (h *ParHandle) Apply(u []float64, op Op) {
 	}
 	h.tracer.SpanV(h.rank.ID, "gs/exchange", "gs", t0, h.rank.Time,
 		map[string]any{"neighbours": len(h.neighbours), "words": words})
+	h.exchVTime.Add(time.Duration((h.rank.Time - t0) * float64(time.Second)))
 }
 
 // Local returns the serial handle for rank-local operations.

@@ -345,6 +345,29 @@ func ValidateChromeTrace(data []byte, minMachineRanks int) error {
 	return nil
 }
 
+// CountCategory returns how many events in a Chrome trace carry category
+// cat (e.g. "fault" for the fault-injection spans). It shares the trace
+// format with ValidateChromeTrace but does no structural checking.
+func CountCategory(data []byte, cat string) (int, error) {
+	var top struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &top); err != nil {
+		return 0, fmt.Errorf("trace: not a JSON object: %w", err)
+	}
+	n := 0
+	for i, raw := range top.TraceEvents {
+		var ev TraceEvent
+		if err := json.Unmarshal(raw, &ev); err != nil {
+			return 0, fmt.Errorf("trace: event %d: %w", i, err)
+		}
+		if ev.Cat == cat {
+			n++
+		}
+	}
+	return n, nil
+}
+
 // TimeSeries is an append-only per-step record collector serialized as
 // JSON Lines (one record per line). The nil *TimeSeries no-ops, matching
 // the Timer/Counter/Gauge contract.

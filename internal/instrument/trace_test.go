@@ -154,3 +154,24 @@ func TestTimeSeriesJSONL(t *testing.T) {
 		}
 	}
 }
+
+func TestCountCategory(t *testing.T) {
+	tr := NewTracer()
+	tr.DisableWallClock()
+	tr.SpanV(0, "fault/retry", "fault", 0, 1e-6, nil)
+	tr.SpanV(1, "fault/pause", "fault", 0, 2e-6, nil)
+	tr.SpanV(0, "gs/exchange", "gs", 1e-6, 3e-6, nil)
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := CountCategory(buf.Bytes(), "fault"); err != nil || n != 2 {
+		t.Fatalf("fault count %d (err %v), want 2", n, err)
+	}
+	if n, err := CountCategory(buf.Bytes(), "nope"); err != nil || n != 0 {
+		t.Fatalf("absent category count %d (err %v), want 0", n, err)
+	}
+	if _, err := CountCategory([]byte("not json"), "fault"); err == nil {
+		t.Fatal("malformed trace accepted")
+	}
+}

@@ -104,6 +104,12 @@ type StepRecord struct {
 	ProjectionBasis   int       `json:"projection_basis"`
 	MaxDivergence     float64   `json:"max_divergence"`
 	FilterEnergy      float64   `json:"filter_energy_removed"`
+
+	// VirtualSeconds is the modeled per-step elapsed time on the simulated
+	// machine (max across ranks). Populated only by distributed runs
+	// (parrun.NavierStokes); serial steps leave it zero. It is the column
+	// the fault-injection tables compare fault-free vs degraded.
+	VirtualSeconds float64 `json:"virtual_seconds,omitempty"`
 }
 
 // Solver holds the time-stepping state.

@@ -1,0 +1,204 @@
+package parrun
+
+// checkpoint.go implements checkpoint/restart for the distributed
+// Navier–Stokes stepper. Every K steps each rank deposits a deep copy of
+// its complete stepper state — velocity, BDF-OIFS history, pressure, the
+// pressure-projection basis, and the comm clock state (virtual time,
+// traffic counters, flow/fault sequence counters) — into a shared sink;
+// when all P deposits for a step have landed, the sink writes one versioned
+// snapshot file. The deposit happens outside the simulated machine (no
+// messages, no virtual-clock cost), so a run with checkpointing enabled is
+// bitwise identical to one without, and a run restarted from a snapshot is
+// a bitwise-identical continuation of the uninterrupted run: same per-step
+// statistics, same fields, same virtual clocks, same fault-plan draws.
+//
+// Serialization is encoding/gob: float64 values round-trip exactly (JSON
+// would not), and the Version field guards the layout.
+
+import (
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"repro/internal/comm"
+)
+
+// CheckpointVersion is the snapshot layout version; Load rejects others.
+const CheckpointVersion = 1
+
+// RankCheckpoint is one rank's slice of the stepper state.
+type RankCheckpoint struct {
+	Rank  int
+	Clock comm.ClockState
+
+	U  [3][]float64   // velocity blocks (element-local, owned elements)
+	Uh [][3][]float64 // BDF/OIFS velocity history (newest first)
+	P  []float64      // pressure blocks
+
+	ProjXs  [][]float64 // pressure-projection basis
+	ProjAxs [][]float64 // operator images of the basis
+
+	// Cached assembled Helmholtz Jacobi diagonal (nil if never built).
+	// Restoring it keeps the resumed run from recomputing — and therefore
+	// re-communicating — what the uninterrupted run had cached.
+	Diag           []float64
+	DiagH1, DiagH2 float64
+}
+
+// Checkpoint is a versioned snapshot of a distributed run after Step
+// completed steps.
+type Checkpoint struct {
+	Version int
+	Step    int     // completed steps
+	Time    float64 // simulation time after Step steps
+	P       int     // ranks of the run (restart requires the same count)
+
+	// Mesh/discretization shape guard: a snapshot only restores onto the
+	// problem it was taken from.
+	K, N, Dim, Np, Npp int
+
+	Ranks []RankCheckpoint
+}
+
+// checkpointPath names the snapshot for one step inside dir.
+func checkpointPath(dir string, step int) string {
+	return filepath.Join(dir, fmt.Sprintf("ckpt-%06d.gob", step))
+}
+
+// WriteFile atomically serializes the checkpoint (temp file + rename).
+func (c *Checkpoint) WriteFile(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := gob.NewEncoder(f).Encode(c); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("checkpoint: encode: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	return nil
+}
+
+// LoadCheckpoint reads and version-checks a snapshot file.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	defer f.Close()
+	var c Checkpoint
+	if err := gob.NewDecoder(f).Decode(&c); err != nil {
+		return nil, fmt.Errorf("checkpoint: %s: decode: %w", path, err)
+	}
+	if c.Version != CheckpointVersion {
+		return nil, fmt.Errorf("checkpoint: %s: version %d, this build reads %d",
+			path, c.Version, CheckpointVersion)
+	}
+	if len(c.Ranks) != c.P {
+		return nil, fmt.Errorf("checkpoint: %s: %d rank states for P=%d", path, len(c.Ranks), c.P)
+	}
+	return &c, nil
+}
+
+// LatestCheckpoint returns the highest-step snapshot path in dir ("" when
+// the directory holds none).
+func LatestCheckpoint(dir string) (string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return "", nil
+		}
+		return "", fmt.Errorf("checkpoint: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && len(name) == len("ckpt-000000.gob") &&
+			name[:5] == "ckpt-" && filepath.Ext(name) == ".gob" {
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
+		return "", nil
+	}
+	sort.Strings(names) // zero-padded step numbers sort lexicographically
+	return filepath.Join(dir, names[len(names)-1]), nil
+}
+
+// ckptSink collects per-rank deposits and writes the snapshot once all P
+// ranks have contributed for a step. Ranks at most one step apart can have
+// pending deposits simultaneously (every step is full of allreduces), so
+// the pending map stays tiny.
+type ckptSink struct {
+	mu      sync.Mutex
+	dir     string
+	p       int
+	shape   Checkpoint // template carrying the shape-guard fields
+	pending map[int]*Checkpoint
+	written int
+	err     error // first write error, surfaced after the run
+}
+
+func newCkptSink(dir string, p int, shape Checkpoint) *ckptSink {
+	return &ckptSink{dir: dir, p: p, shape: shape, pending: map[int]*Checkpoint{}}
+}
+
+// deposit stores one rank's state for a step; the last deposit triggers the
+// file write (wall-clock I/O only — the simulated machine never sees it).
+func (s *ckptSink) deposit(step int, time float64, rs RankCheckpoint) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.pending[step]
+	if !ok {
+		c = &Checkpoint{Version: CheckpointVersion, Step: step, Time: time, P: s.p,
+			K: s.shape.K, N: s.shape.N, Dim: s.shape.Dim, Np: s.shape.Np, Npp: s.shape.Npp,
+			Ranks: make([]RankCheckpoint, 0, s.p)}
+		s.pending[step] = c
+	}
+	c.Ranks = append(c.Ranks, rs)
+	if len(c.Ranks) < s.p {
+		return
+	}
+	delete(s.pending, step)
+	sort.Slice(c.Ranks, func(i, j int) bool { return c.Ranks[i].Rank < c.Ranks[j].Rank })
+	if err := os.MkdirAll(s.dir, 0o755); err != nil {
+		if s.err == nil {
+			s.err = err
+		}
+		return
+	}
+	if err := c.WriteFile(checkpointPath(s.dir, step)); err != nil {
+		if s.err == nil {
+			s.err = err
+		}
+		return
+	}
+	s.written++
+}
+
+// validateFor checks a snapshot against the run it is restoring into.
+func (c *Checkpoint) validateFor(p, k, n, dim, np, npp, steps int) error {
+	if c.P != p {
+		return fmt.Errorf("checkpoint: taken at P=%d, run uses P=%d (restart with the same rank count)", c.P, p)
+	}
+	if c.K != k || c.N != n || c.Dim != dim || c.Np != np || c.Npp != npp {
+		return fmt.Errorf("checkpoint: mesh/discretization mismatch (snapshot K=%d N=%d dim=%d, run K=%d N=%d dim=%d)",
+			c.K, c.N, c.Dim, k, n, dim)
+	}
+	if c.Step >= steps {
+		return fmt.Errorf("checkpoint: snapshot already at step %d, run targets %d total steps", c.Step, steps)
+	}
+	return nil
+}

@@ -1,0 +1,200 @@
+package parrun
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/ns"
+)
+
+// resumeFrom runs the stepper for ckSteps steps writing a snapshot at the
+// end, then loads that snapshot back — the "kill the job at step k" half of
+// a restart test.
+func resumeFrom(t *testing.T, cfg ns.Config, nc NSConfig, ckSteps int) *Checkpoint {
+	t.Helper()
+	dir := t.TempDir()
+	first := nc
+	first.Steps = ckSteps
+	first.CheckpointDir = dir
+	first.CheckpointEvery = ckSteps
+	res, err := NavierStokes(cfg, first)
+	if err != nil {
+		t.Fatalf("checkpointed run: %v", err)
+	}
+	if res.CheckpointsWritten != 1 {
+		t.Fatalf("wrote %d snapshots, want 1", res.CheckpointsWritten)
+	}
+	path, err := LatestCheckpoint(dir)
+	if err != nil || path == "" {
+		t.Fatalf("latest snapshot: %q, %v", path, err)
+	}
+	ck, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Step != ckSteps {
+		t.Fatalf("snapshot at step %d, want %d", ck.Step, ckSteps)
+	}
+	return ck
+}
+
+// requireBitwiseContinuation compares a resumed run against the tail of the
+// uninterrupted run: per-step statistics, per-step modeled times, and the
+// final fields must all be bitwise equal — restart is a continuation, not
+// an approximation.
+func requireBitwiseContinuation(t *testing.T, full, resumed *NSResult, ckSteps int) {
+	t.Helper()
+	if resumed.FirstStep != ckSteps {
+		t.Fatalf("resumed FirstStep %d, want %d", resumed.FirstStep, ckSteps)
+	}
+	wantSteps := full.Steps - ckSteps
+	if len(resumed.StepStats) != wantSteps || len(resumed.StepVirtual) != wantSteps {
+		t.Fatalf("resumed run has %d stats / %d step times, want %d",
+			len(resumed.StepStats), len(resumed.StepVirtual), wantSteps)
+	}
+	for s := 0; s < wantSteps; s++ {
+		a, b := full.StepStats[ckSteps+s], resumed.StepStats[s]
+		if a != b {
+			t.Errorf("step %d statistics diverge after resume:\n full    %+v\n resumed %+v",
+				ckSteps+s+1, a, b)
+		}
+		if full.StepVirtual[ckSteps+s] != resumed.StepVirtual[s] {
+			t.Errorf("step %d modeled time diverges: %g vs %g",
+				ckSteps+s+1, full.StepVirtual[ckSteps+s], resumed.StepVirtual[s])
+		}
+	}
+	if full.VirtualSeconds != resumed.VirtualSeconds {
+		t.Errorf("final virtual clock diverges: %g vs %g", full.VirtualSeconds, resumed.VirtualSeconds)
+	}
+	for c := range full.U {
+		if full.U[c] == nil {
+			continue
+		}
+		for i := range full.U[c] {
+			if full.U[c][i] != resumed.U[c][i] {
+				t.Fatalf("velocity component %d index %d diverges after resume: %g vs %g",
+					c, i, full.U[c][i], resumed.U[c][i])
+			}
+		}
+	}
+	for i := range full.Pressure {
+		if full.Pressure[i] != resumed.Pressure[i] {
+			t.Fatalf("pressure index %d diverges after resume: %g vs %g",
+				i, full.Pressure[i], resumed.Pressure[i])
+		}
+	}
+}
+
+// TestCheckpointResumeBitwise: killing the run after 2 of 4 steps and
+// resuming from the snapshot must reproduce the uninterrupted run bitwise.
+func TestCheckpointResumeBitwise(t *testing.T) {
+	cfg, init := nsCase(t)
+	const p, ckSteps, steps = 3, 2, 4
+	base := NSConfig{P: p, Steps: steps, Init: init}
+	full, err := NavierStokes(cfg, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck := resumeFrom(t, cfg, base, ckSteps)
+	re := base
+	re.Resume = ck
+	resumed, err := NavierStokes(cfg, re)
+	if err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	requireBitwiseContinuation(t, full, resumed, ckSteps)
+}
+
+// TestCheckpointResumeBitwiseUnderFaults: the same kill-and-resume contract
+// must hold on a degraded machine — the snapshot carries the fault plan's
+// per-sender sequence counters, so every post-resume drop, jitter, and
+// straggler draw lands exactly where the uninterrupted run put it.
+func TestCheckpointResumeBitwiseUnderFaults(t *testing.T) {
+	cfg, init := nsCase(t)
+	const p, ckSteps, steps = 3, 2, 4
+	plan := &fault.Plan{
+		Seed:       11,
+		Stragglers: []fault.Straggler{{Rank: 2, Factor: 2.5}},
+		Drops:      []fault.Drop{{From: -1, To: -1, Prob: 0.01}},
+		Links:      []fault.LinkJitter{{From: 0, To: -1, MaxDelay: 5e-6}},
+	}
+	base := NSConfig{P: p, Steps: steps, Init: init, Faults: plan}
+	full, err := NavierStokes(cfg, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Drops == 0 {
+		t.Fatal("plan produced no drops; the resume test would not exercise fault-state restore")
+	}
+	ck := resumeFrom(t, cfg, base, ckSteps)
+	re := base
+	re.Resume = ck
+	resumed, err := NavierStokes(cfg, re)
+	if err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	requireBitwiseContinuation(t, full, resumed, ckSteps)
+}
+
+// TestCheckpointingIsInvisible: enabling snapshots must not perturb the run
+// — the deposit happens outside the simulated machine.
+func TestCheckpointingIsInvisible(t *testing.T) {
+	cfg, init := nsCase(t)
+	base := NSConfig{P: 3, Steps: 3, Init: init}
+	plain, err := NavierStokes(cfg, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck := base
+	ck.CheckpointDir = t.TempDir()
+	ck.CheckpointEvery = 1
+	snapped, err := NavierStokes(cfg, ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snapped.CheckpointsWritten != 3 {
+		t.Fatalf("wrote %d snapshots, want 3", snapped.CheckpointsWritten)
+	}
+	if plain.VirtualSeconds != snapped.VirtualSeconds {
+		t.Fatalf("checkpointing moved the virtual clock: %g vs %g",
+			plain.VirtualSeconds, snapped.VirtualSeconds)
+	}
+	for s := range plain.StepStats {
+		if plain.StepStats[s] != snapped.StepStats[s] {
+			t.Fatalf("checkpointing changed step %d statistics", s+1)
+		}
+	}
+}
+
+// TestCheckpointValidation: mismatched snapshots must be rejected with a
+// diagnosable error, never silently restored.
+func TestCheckpointValidation(t *testing.T) {
+	cfg, init := nsCase(t)
+	base := NSConfig{P: 3, Steps: 2, Init: init}
+	ck := resumeFrom(t, cfg, base, 2)
+
+	re := base
+	re.P = 2
+	re.Steps = 4
+	re.Resume = ck
+	if _, err := NavierStokes(cfg, re); err == nil ||
+		!strings.Contains(err.Error(), "rank count") {
+		t.Errorf("P mismatch accepted (err: %v)", err)
+	}
+
+	re = base
+	re.Steps = 2 // snapshot already holds all of them
+	re.Resume = ck
+	if _, err := NavierStokes(cfg, re); err == nil ||
+		!strings.Contains(err.Error(), "step") {
+		t.Errorf("already-complete snapshot accepted (err: %v)", err)
+	}
+
+	if path, err := LatestCheckpoint(t.TempDir()); err != nil || path != "" {
+		t.Errorf("empty dir: path %q, err %v", path, err)
+	}
+	if path, err := LatestCheckpoint("/does/not/exist"); err != nil || path != "" {
+		t.Errorf("missing dir: path %q, err %v", path, err)
+	}
+}

@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/coarse"
 	"repro/internal/comm"
+	"repro/internal/fault"
 	"repro/internal/gs"
 	"repro/internal/instrument"
 	"repro/internal/ns"
@@ -41,11 +42,31 @@ import (
 type NSConfig struct {
 	P       int          // simulated ranks (clamped to the element count)
 	Machine comm.Machine // zero value: ASCIRed(P); Machine.P must match P when set
-	Steps   int          // time steps to advance (default 1)
+	Steps   int          // total time steps of the run (default 1); a resumed
+	// run executes steps Resume.Step+1 .. Steps
 
 	// Init is the initial velocity field (nil leaves it zero). Dirichlet
 	// values are applied at t = 0 exactly as ns.Solver.SetVelocity does.
 	Init func(x, y, z float64) (u, v, w float64)
+
+	// Faults optionally degrades the simulated machine with a seeded
+	// deterministic plan (stragglers, link jitter, message drops with
+	// bounded-retry recovery, rank pauses); nil runs the flawless machine.
+	Faults *fault.Plan
+
+	// CheckpointDir + CheckpointEvery write a versioned snapshot of the
+	// full stepper state (fields, BDF-OIFS history, projection basis, step
+	// index, virtual clocks) every CheckpointEvery steps. Snapshot I/O is
+	// invisible to the simulated machine: enabling it changes nothing about
+	// the run. CheckpointEvery <= 0 disables writing.
+	CheckpointDir   string
+	CheckpointEvery int
+
+	// Resume continues a run from a snapshot: state, clocks, and fault-plan
+	// sequence counters restore so the continuation is bitwise identical to
+	// the uninterrupted run. The snapshot must come from the same problem
+	// and rank count.
+	Resume *Checkpoint
 
 	Registry *instrument.Registry   // optional metrics
 	Tracer   *instrument.Tracer     // optional trace (per-rank virtual tracks)
@@ -56,9 +77,11 @@ type NSConfig struct {
 type NSResult struct {
 	P          int // effective ranks (after clamping to the element count)
 	RequestedP int // ranks the caller asked for
-	Steps      int
+	Steps      int // total steps of the run (including any before a resume)
+	FirstStep  int // completed steps inherited from a checkpoint (0 fresh)
 
-	StepStats []ns.StepStats // per-step statistics (identical on all ranks)
+	StepStats   []ns.StepStats // per executed step (identical on all ranks)
+	StepVirtual []float64      // per executed step: modeled elapsed seconds (max across ranks)
 
 	// Converged is true only when every pressure and viscous solve of every
 	// step hit its tolerance; NonconvergedSteps counts the offenders.
@@ -71,6 +94,14 @@ type NSResult struct {
 	CutEdges       int
 	CrossCols      int
 
+	// Fault-recovery accounting (all zero on a flawless machine).
+	Drops         int64   // delivery attempts the network lost
+	Retries       int64   // retransmissions that recovered them
+	Pauses        int64   // pause windows ranks waited out
+	FaultStallSec float64 // total virtual time lost to faults, summed over ranks
+
+	CheckpointsWritten int
+
 	Time     float64      // simulation time after the last step
 	U        [3][]float64 // final velocity, reassembled to element-local layout
 	Pressure []float64    // final pressure, reassembled (K*Npp)
@@ -82,13 +113,15 @@ type rankStep struct {
 	resHist []float64
 	maxDiv  float64
 	filterE float64
+	vEnd    float64 // rank virtual clock at the end of the step
 }
 
 type rankOut struct {
-	steps []rankStep
-	u     [3][]float64
-	p     []float64
-	err   error
+	steps  []rankStep
+	u      [3][]float64
+	p      []float64
+	vStart float64 // rank virtual clock entering the first executed step
+	err    error
 }
 
 // NavierStokes advances nscfg's problem by cfg.Steps time steps on cfg.P
@@ -142,14 +175,31 @@ func NavierStokes(nscfg ns.Config, cfg NSConfig) (*NSResult, error) {
 		elems[q] = append(elems[q], e)
 	}
 
+	firstStep := 0
+	if ck := cfg.Resume; ck != nil {
+		if err := ck.validateFor(p, m.K, m.N, m.Dim, m.Np, tmpl.Npp(), cfg.Steps); err != nil {
+			return nil, fmt.Errorf("parrun: %w", err)
+		}
+		firstStep = ck.Step
+	}
+	var sink *ckptSink
+	if cfg.CheckpointDir != "" && cfg.CheckpointEvery > 0 {
+		sink = newCkptSink(cfg.CheckpointDir, p, Checkpoint{
+			K: m.K, N: m.N, Dim: m.Dim, Np: m.Np, Npp: tmpl.Npp()})
+	}
+
 	net := comm.NewNetwork(mach)
 	net.Attach(cfg.Registry)
 	net.AttachTracer(cfg.Tracer)
+	net.SetFaults(cfg.Faults)
 
 	outs := make([]rankOut, p)
 	ranks := net.Run(func(r *comm.Rank) {
-		outs[r.ID] = nsRankBody(r, tmpl, elems[r.ID], xxt, cfg)
+		outs[r.ID] = nsRankBody(r, tmpl, elems[r.ID], xxt, cfg, sink, firstStep)
 	})
+	if sink != nil && sink.err != nil {
+		return nil, fmt.Errorf("parrun: checkpoint write: %w", sink.err)
+	}
 	for q := range outs {
 		if outs[q].err != nil {
 			return nil, fmt.Errorf("parrun: rank %d: %w", q, outs[q].err)
@@ -178,6 +228,7 @@ func NavierStokes(nscfg ns.Config, cfg NSConfig) (*NSResult, error) {
 		P:              p,
 		RequestedP:     requested,
 		Steps:          cfg.Steps,
+		FirstStep:      firstStep,
 		Converged:      true,
 		VirtualSeconds: comm.MaxTime(ranks),
 		TotalBytes:     comm.TotalBytes(ranks),
@@ -187,10 +238,36 @@ func NavierStokes(nscfg ns.Config, cfg NSConfig) (*NSResult, error) {
 	if xxt != nil {
 		res.CrossCols = xxt.CrossCount()
 	}
+	if sink != nil {
+		res.CheckpointsWritten = sink.written
+	}
 	for _, rk := range ranks {
 		res.TotalMsgs += rk.MsgsSent
+		res.Drops += rk.Drops
+		res.Retries += rk.Retries
+		res.Pauses += rk.Pauses
+		res.FaultStallSec += rk.StallSec
 	}
-	for _, rs := range outs[0].steps {
+	// Per-step modeled elapsed time: the cross-rank max clock at each step
+	// boundary, differenced. This is the column the fault tables compare
+	// between a flawless and a degraded machine.
+	prevV := 0.0
+	for q := range outs {
+		if outs[q].vStart > prevV {
+			prevV = outs[q].vStart
+		}
+	}
+	for k := range outs[0].steps {
+		endV := 0.0
+		for q := range outs {
+			if outs[q].steps[k].vEnd > endV {
+				endV = outs[q].steps[k].vEnd
+			}
+		}
+		res.StepVirtual = append(res.StepVirtual, endV-prevV)
+		prevV = endV
+	}
+	for si, rs := range outs[0].steps {
 		res.StepStats = append(res.StepStats, rs.stats)
 		if !rs.stats.PressureConverged || !rs.stats.ViscousConverged {
 			res.Converged = false
@@ -198,6 +275,7 @@ func NavierStokes(nscfg ns.Config, cfg NSConfig) (*NSResult, error) {
 		}
 		if cfg.History != nil {
 			cfg.History.Append(ns.StepRecord{
+				VirtualSeconds:    res.StepVirtual[si],
 				Step:              rs.stats.Step,
 				Time:              rs.stats.Time,
 				CFL:               rs.stats.CFL,
@@ -294,7 +372,8 @@ type nsRank struct {
 }
 
 // nsRankBody is the SPMD body of one rank of the distributed stepper.
-func nsRankBody(r *comm.Rank, tmpl *ns.Solver, mine []int, xxt *coarse.XXT, cfg NSConfig) rankOut {
+func nsRankBody(r *comm.Rank, tmpl *ns.Solver, mine []int, xxt *coarse.XXT, cfg NSConfig,
+	sink *ckptSink, firstStep int) rankOut {
 	m := tmpl.M
 	k := &nsRank{
 		r: r, tmpl: tmpl, d: tmpl.Disc(), mine: mine, cfg: cfg,
@@ -378,15 +457,84 @@ func nsRankBody(r *comm.Rank, tmpl *ns.Solver, mine []int, xxt *coarse.XXT, cfg 
 		k.projector = solver.NewProjector(l, k.applyE, k.pressureDot)
 	}
 
+	// Resume: overwrite the freshly built state with the snapshot's, then
+	// restore the virtual clock last so the continuation picks up exactly
+	// where the checkpointed run's clock stood (the setup traffic above
+	// happened at earlier virtual times in the original run too).
+	if ck := cfg.Resume; ck != nil {
+		rs := ck.Ranks[r.ID]
+		if len(rs.U[0]) != k.nloc || len(rs.P) != k.nlocP {
+			return rankOut{err: fmt.Errorf(
+				"checkpoint: rank %d holds blocks of %d/%d values, run needs %d/%d (partition drift)",
+				r.ID, len(rs.U[0]), len(rs.P), k.nloc, k.nlocP)}
+		}
+		for c := 0; c < 3; c++ {
+			copy(k.U[c], rs.U[c])
+		}
+		k.Uh = make([][3][]float64, len(rs.Uh))
+		for q := range rs.Uh {
+			for c := 0; c < 3; c++ {
+				if rs.Uh[q][c] != nil {
+					k.Uh[q][c] = append([]float64(nil), rs.Uh[q][c]...)
+				}
+			}
+		}
+		copy(k.Pl, rs.P)
+		if k.projector != nil {
+			k.projector.Restore(rs.ProjXs, rs.ProjAxs)
+		}
+		if rs.Diag != nil {
+			k.diagLoc = append([]float64(nil), rs.Diag...)
+			k.diagH1, k.diagH2 = rs.DiagH1, rs.DiagH2
+		}
+		k.time = ck.Time
+		r.SetClock(rs.Clock)
+	}
+
+	vStart := r.Time
 	var steps []rankStep
-	for s := 0; s < cfg.Steps; s++ {
+	for s := firstStep; s < cfg.Steps; s++ {
 		rec, err := k.step(s + 1)
 		if err != nil {
-			return rankOut{steps: steps, err: err}
+			return rankOut{steps: steps, vStart: vStart, err: err}
 		}
 		steps = append(steps, rec)
+		if sink != nil && (s+1)%cfg.CheckpointEvery == 0 {
+			sink.deposit(s+1, k.time, k.snapshot())
+		}
 	}
-	return rankOut{steps: steps, u: k.U, p: k.Pl}
+	return rankOut{steps: steps, u: k.U, p: k.Pl, vStart: vStart}
+}
+
+// snapshot deep-copies everything the next step depends on: fields, BDF-OIFS
+// history, pressure, the projection basis, the cached Helmholtz diagonal
+// (recomputing it on resume would cost gather–scatter traffic the
+// uninterrupted run never pays), and the comm clock state.
+func (k *nsRank) snapshot() RankCheckpoint {
+	rs := RankCheckpoint{
+		Rank:  k.r.ID,
+		Clock: k.r.Clock(),
+		P:     append([]float64(nil), k.Pl...),
+	}
+	for c := 0; c < 3; c++ {
+		rs.U[c] = append([]float64(nil), k.U[c]...)
+	}
+	rs.Uh = make([][3][]float64, len(k.Uh))
+	for q := range k.Uh {
+		for c := 0; c < 3; c++ {
+			if k.Uh[q][c] != nil {
+				rs.Uh[q][c] = append([]float64(nil), k.Uh[q][c]...)
+			}
+		}
+	}
+	if k.projector != nil {
+		rs.ProjXs, rs.ProjAxs = k.projector.State()
+	}
+	if k.diagLoc != nil {
+		rs.Diag = append([]float64(nil), k.diagLoc...)
+		rs.DiagH1, rs.DiagH2 = k.diagH1, k.diagH2
+	}
+	return rs
 }
 
 // gatherV copies a global velocity-grid field's owned blocks.
@@ -1060,5 +1208,6 @@ func (k *nsRank) step(stepNo int) (rankStep, error) {
 		rec.filterE = filterRemoved
 		rec.resHist = append([]float64(nil), pstats.ResHist...)
 	}
+	rec.vEnd = r.Time
 	return rec, nil
 }

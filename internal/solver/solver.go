@@ -257,6 +257,32 @@ func NewProjector(l int, apply Operator, dot Dot) *Projector {
 // Len returns the current basis size.
 func (p *Projector) Len() int { return len(p.xs) }
 
+// State returns deep copies of the A-orthonormal basis and its operator
+// images, the projector's whole cross-solve memory: restoring them into a
+// fresh projector reproduces the projected solves bitwise. Used by the
+// checkpoint/restart machinery.
+func (p *Projector) State() (xs, axs [][]float64) {
+	for k := range p.xs {
+		xs = append(xs, append([]float64(nil), p.xs[k]...))
+		axs = append(axs, append([]float64(nil), p.axs[k]...))
+	}
+	return xs, axs
+}
+
+// Restore replaces the basis with deep copies of a previously captured
+// State, discarding whatever the projector currently holds.
+func (p *Projector) Restore(xs, axs [][]float64) {
+	p.Reset()
+	for k := range xs {
+		x := p.grab(len(xs[k]))
+		copy(x, xs[k])
+		ax := p.grab(len(axs[k]))
+		copy(ax, axs[k])
+		p.xs = append(p.xs, x)
+		p.axs = append(p.axs, ax)
+	}
+}
+
 // Reset discards the basis (the vectors are kept for reuse).
 func (p *Projector) Reset() {
 	p.free = append(p.free, p.xs...)

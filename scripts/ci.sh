@@ -1,37 +1,122 @@
 #!/bin/sh
-# Two-tier local CI.
+# Tiered local CI, mirrored by the parallel jobs of .github/workflows/ci.yml.
 #
-#   tier 1: build + full test suite (the repo's acceptance gate)
-#   tier 2: go vet + race detector over the whole module. Long-running
+#   tier1   go build + full test suite (the repo's acceptance gate)
+#   tier2   go vet + race detector over the whole module. Long-running
 #           physics cases (multi-minute shear-layer roll-up) skip under
 #           -short; everything with concurrency (comm ranks, gs exchange,
 #           sem worker pools, instrument counters) still runs under -race.
+#   static  staticcheck over the module (skipped with a note when the
+#           binary is not installed; the workflow installs it)
+#   smoke   build semflow + tracecheck once, then validate the -trace and
+#           -history artifacts of the serial, distributed, fault-injected,
+#           and checkpoint/restart paths
+#   bench   benchmark harness, one iteration per benchmark + artifact check
+#
+# Usage: scripts/ci.sh [tier1|tier2|static|smoke|bench|all]   (default all)
+#
+# Environment:
+#   SMOKE_OUT  directory to keep the smoke artifacts in (default: a temp
+#              dir removed on exit); the workflow uploads it.
 set -eu
 cd "$(dirname "$0")/.."
 
-echo "== tier 1: go build ./... && go test ./... =="
-go build ./...
-go test ./...
+# stage NAME CMD... — run one stage with wall-clock timing.
+stage() {
+    name="$1"
+    shift
+    echo "== $name: $* =="
+    t0="$(date +%s)"
+    "$@"
+    echo "-- $name done in $(( $(date +%s) - t0 ))s"
+}
 
-echo "== tier 2: go vet ./... && go test -race -short ./... =="
-go vet ./...
-go test -race -short ./...
+tier1() {
+    stage "tier1/build" go build ./...
+    stage "tier1/test" go test ./...
+}
 
-echo "== smoke: benchmark harness (1 iteration per benchmark + artifact check) =="
-./scripts/bench.sh quick
+tier2() {
+    stage "tier2/vet" go vet ./...
+    stage "tier2/race" go test -race -short ./...
+}
 
-echo "== smoke: semflow -trace/-history artifacts validate =="
-tmp="$(mktemp -d)"
-trap 'rm -rf "$tmp"' EXIT
-go run ./cmd/semflow -case shearlayer -nel 4 -n 5 -steps 2 -report 1 \
-    -trace "$tmp/trace.json" -trace-ranks 4 -history "$tmp/history.jsonl"
-go run ./cmd/tracecheck -trace "$tmp/trace.json" -min-ranks 4 \
-    -history "$tmp/history.jsonl"
+static() {
+    if command -v staticcheck >/dev/null 2>&1; then
+        stage "static/staticcheck" staticcheck ./...
+    else
+        echo "== static: staticcheck not installed; skipping (the CI workflow installs it) =="
+    fi
+}
 
-echo "== smoke: distributed stepper (-ranks) artifacts validate =="
-go run ./cmd/semflow -case channel -n 5 -ranks 4 -steps 2 -report 1 \
-    -trace "$tmp/dist-trace.json" -history "$tmp/dist-history.jsonl"
-go run ./cmd/tracecheck -trace "$tmp/dist-trace.json" -min-ranks 4 \
-    -history "$tmp/dist-history.jsonl"
+smoke() {
+    out="${SMOKE_OUT:-}"
+    if [ -z "$out" ]; then
+        out="$(mktemp -d)"
+        trap 'rm -rf "$out"' EXIT
+    fi
+    mkdir -p "$out/bin"
 
-echo "CI OK"
+    # Build the drivers once; every smoke below reuses the binaries instead
+    # of paying `go run` compilation per invocation.
+    stage "smoke/build" go build -o "$out/bin/" ./cmd/semflow ./cmd/tracecheck
+
+    echo "== smoke: semflow -trace/-history artifacts validate =="
+    "$out/bin/semflow" -case shearlayer -nel 4 -n 5 -steps 2 -report 1 \
+        -trace "$out/trace.json" -trace-ranks 4 -history "$out/history.jsonl"
+    "$out/bin/tracecheck" -trace "$out/trace.json" -min-ranks 4 \
+        -history "$out/history.jsonl"
+
+    echo "== smoke: distributed stepper (-ranks) artifacts validate =="
+    "$out/bin/semflow" -case channel -n 5 -ranks 4 -steps 2 -report 1 \
+        -trace "$out/dist-trace.json" -history "$out/dist-history.jsonl"
+    "$out/bin/tracecheck" -trace "$out/dist-trace.json" -min-ranks 4 \
+        -history "$out/dist-history.jsonl"
+
+    echo "== smoke: fault-injected run recovers, trace carries fault spans =="
+    cat > "$out/faults.json" <<'EOF'
+{
+  "seed": 7,
+  "stragglers": [{"rank": 1, "factor": 3}],
+  "drops": [{"from": -1, "to": -1, "prob": 0.02}]
+}
+EOF
+    "$out/bin/semflow" -case channel -n 5 -ranks 4 -steps 2 -report 1 \
+        -faults "$out/faults.json" -trace "$out/fault-trace.json"
+    "$out/bin/tracecheck" -trace "$out/fault-trace.json" -min-ranks 4 \
+        -min-fault-events 1
+
+    echo "== smoke: checkpoint at step 2, resume to step 4 =="
+    "$out/bin/semflow" -case channel -n 5 -ranks 4 -steps 2 -report 1 \
+        -checkpoint "$out/ckpt" -checkpoint-every 2
+    "$out/bin/semflow" -case channel -n 5 -ranks 4 -steps 4 -report 1 \
+        -checkpoint "$out/ckpt" -resume > "$out/resume.log"
+    cat "$out/resume.log"
+    grep -q "resuming from" "$out/resume.log"
+}
+
+bench() {
+    stage "bench/quick" ./scripts/bench.sh quick
+}
+
+mode="${1:-all}"
+case "$mode" in
+tier1) tier1 ;;
+tier2) tier2 ;;
+static) static ;;
+smoke) smoke ;;
+bench) bench ;;
+all)
+    tier1
+    tier2
+    static
+    smoke
+    bench
+    ;;
+*)
+    echo "usage: scripts/ci.sh [tier1|tier2|static|smoke|bench|all]" >&2
+    exit 2
+    ;;
+esac
+
+echo "CI OK ($mode)"
