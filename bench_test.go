@@ -146,6 +146,32 @@ func BenchmarkChannelStepDistributed(b *testing.B) {
 	}
 }
 
+// BenchmarkChannelStepDistributedP64 is the paper-scale variant: the same
+// channel flow on a 16x4 element mesh spread over 64 simulated ranks (one
+// element per rank). Per-op cost is dominated by the message-passing
+// simulation itself — ~5k point-to-point messages and the log2(64)-round
+// scalar allreduces of each pressure iteration — so this benchmark tracks
+// the comm/gs hot path (pooled payloads, indexed mailboxes, overlapped
+// exchange) rather than the floating-point work.
+func BenchmarkChannelStepDistributedP64(b *testing.B) {
+	cfg, init, _, err := flowcases.ChannelSpec(flowcases.ChannelConfig{
+		Re: 7500, Alpha: 1, N: 5, Dt: 0.003125, Order: 2, KX: 16, KY: 4,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	res, err := parrun.NavierStokes(cfg, parrun.NSConfig{
+		P: 64, Steps: b.N, Init: init,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if res.P != 64 {
+		b.Fatalf("ran on %d ranks, want 64", res.P)
+	}
+}
+
 // ---- Table 2: Schwarz-preconditioned pressure-like solve ----
 
 func benchCylinderSolve(b *testing.B, opt schwarz.Options) {

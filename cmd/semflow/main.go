@@ -33,6 +33,9 @@ func main() {
 	steps := flag.Int("steps", 100, "time steps")
 	n := flag.Int("n", 8, "polynomial order")
 	nel := flag.Int("nel", 8, "elements per direction (2D cases)")
+	kx := flag.Int("kx", 0, "channel case: elements along the channel (0: case default 5); with -ky this sizes the mesh for large -ranks runs")
+	ky := flag.Int("ky", 0, "channel case: elements across the channel (0: case default 3)")
+	piters := flag.Int("piters", 0, "distributed runs: pressure CG iteration cap (0: case default; a small cap bounds the per-step message volume so large -ranks runs can be traced)")
 	alpha := flag.Float64("alpha", 0.3, "filter strength")
 	l := flag.Int("L", 20, "pressure projection basis size")
 	workers := flag.Int("workers", 2, "element-loop workers (dual-processor mode analogue)")
@@ -67,6 +70,7 @@ func main() {
 	if *ranks > 0 {
 		runDistributed(distOpts{
 			caseName: *caseName, ranks: *ranks, steps: *steps, n: *n, nel: *nel,
+			kx: *kx, ky: *ky, piters: *piters,
 			alpha: *alpha, every: *every, stats: *stats, statsJSON: *statsJSON,
 			traceOut: *traceOut, historyOut: *historyOut,
 			faultsPath: *faultsPath, ckptDir: *ckptDir, ckptEvery: *ckptEvery,
@@ -88,6 +92,7 @@ func main() {
 	case "channel":
 		s, _, err = flowcases.Channel(flowcases.ChannelConfig{
 			Re: 7500, Alpha: 1, N: *n, Dt: 0.003125, Order: 2, Filter: *alpha, Workers: *workers,
+			KX: *kx, KY: *ky,
 		})
 	case "convection":
 		s, err = flowcases.Convection(flowcases.ConvectionConfig{
@@ -227,6 +232,8 @@ func main() {
 type distOpts struct {
 	caseName             string
 	ranks, steps, n, nel int
+	kx, ky               int // channel mesh size (0,0: case default 5x3)
+	piters               int // pressure CG iteration cap (0: case default)
 	alpha                float64
 	every                int
 	stats, statsJSON     bool
@@ -257,6 +264,7 @@ func runDistributed(o distOpts) {
 	case "channel":
 		cfg, init, _, err = flowcases.ChannelSpec(flowcases.ChannelConfig{
 			Re: 7500, Alpha: 1, N: o.n, Dt: 0.003125, Order: 2, Filter: o.alpha,
+			KX: o.kx, KY: o.ky,
 		})
 	case "hairpin":
 		cfg, init, err = flowcases.HairpinSpec(flowcases.HairpinConfig{
@@ -269,6 +277,9 @@ func runDistributed(o distOpts) {
 	}
 	if err != nil {
 		log.Fatal(err)
+	}
+	if o.piters > 0 {
+		cfg.PMaxIter = o.piters
 	}
 	var plan *fault.Plan
 	if o.faultsPath != "" {

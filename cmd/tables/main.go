@@ -19,20 +19,21 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, table2, table3, table4, fig3, fig4, fig6, fig8, faults or all")
+	exp := flag.String("exp", "all", "experiment: table1, table2, table3, table4, fig3, fig4, fig6, fig8, faults, scaling or all")
 	quick := flag.Bool("quick", false, "reduced resolutions for fast runs")
 	flag.Parse()
 
 	experiments := map[string]func(bool){
-		"table1": table1,
-		"table2": table2,
-		"table3": table3,
-		"table4": table4,
-		"fig3":   fig3,
-		"fig4":   fig4,
-		"fig6":   fig6,
-		"fig8":   fig8,
-		"faults": faultsExp,
+		"table1":  table1,
+		"table2":  table2,
+		"table3":  table3,
+		"table4":  table4,
+		"fig3":    fig3,
+		"fig4":    fig4,
+		"fig6":    fig6,
+		"fig8":    fig8,
+		"faults":  faultsExp,
+		"scaling": scaling,
 	}
 	if *exp == "all" {
 		for _, name := range []string{"table1", "table2", "table3", "table4", "fig3", "fig4", "fig6", "fig8", "faults"} {

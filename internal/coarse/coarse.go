@@ -69,14 +69,16 @@ type XXT struct {
 	// solve/factor split).
 	FactorSeconds float64
 
-	solveTime *instrument.Timer  // nil = off; accumulated per-rank solve time
-	tracer    *instrument.Tracer // nil = off; per-solve spans
+	solveTime  *instrument.Timer  // nil = off; accumulated per-rank solve time
+	solveVTime *instrument.Timer  // nil = off; virtual seconds per SolveOn, summed over ranks
+	tracer     *instrument.Tracer // nil = off; per-solve spans
 }
 
 // Attach wires the solve timer into reg and records the one-off factor
 // cost as a gauge; a nil registry detaches.
 func (s *XXT) Attach(reg *instrument.Registry) {
 	s.solveTime = reg.Timer("coarse/xxt.solve")
+	s.solveVTime = reg.Timer("coarse/xxt.vtime")
 	reg.Gauge("coarse/xxt.factor_seconds").Set(s.FactorSeconds)
 	reg.Gauge("coarse/xxt.cross_cols").Set(float64(len(s.CrossCols)))
 }
@@ -194,29 +196,64 @@ func (s *XXT) SolveSerial(b []float64) []float64 {
 	return u
 }
 
+// SolveWork is the per-rank scratch of SolveOn, reusable across calls so
+// the steady-state coarse solve allocates nothing. Each simulated rank
+// needs its own (SolveOn runs concurrently on all ranks).
+type SolveWork struct {
+	zCross  []float64
+	zLocalJ []int
+	zLocalV []float64
+	u       []float64
+}
+
+// NewSolveWork sizes a SolveWork for the given rank's block.
+func (s *XXT) NewSolveWork(rank int) *SolveWork {
+	return &SolveWork{
+		zCross:  make([]float64, len(s.CrossCols)),
+		zLocalJ: make([]int, 0, s.N/max(len(s.BlockLo), 1)+1),
+		zLocalV: make([]float64, 0, s.N/max(len(s.BlockLo), 1)+1),
+		u:       make([]float64, s.BlockHi[rank]-s.BlockLo[rank]),
+	}
+}
+
 // SolveOn executes the distributed solve on one simulated rank. bLocal is
 // the rank's block of the right-hand side in permuted order
 // (b[BlockLo[r]:BlockHi[r]]); the rank's block of the solution is returned.
 // Local floating-point work is charged to the rank's virtual clock; the
 // combine over the cross columns is a real recursive-doubling allreduce.
 func (s *XXT) SolveOn(r *comm.Rank, bLocal []float64) []float64 {
+	return s.SolveOnW(r, bLocal, nil)
+}
+
+// SolveOnW is SolveOn with caller-owned scratch (nil allocates fresh
+// buffers, reproducing SolveOn). The returned slice aliases w.u and is
+// valid until the next call with the same work.
+func (s *XXT) SolveOnW(r *comm.Rank, bLocal []float64, w *SolveWork) []float64 {
 	t0 := s.solveTime.Begin()
 	defer s.solveTime.End(t0)
 	v0 := r.Time
+	if s.tracer != nil {
+		defer func() {
+			s.tracer.SpanV(r.ID, "coarse/xxt.solve", "coarse", v0, r.Time,
+				map[string]any{"cross_cols": len(s.CrossCols), "n": s.N})
+		}()
+	}
 	defer func() {
-		s.tracer.SpanV(r.ID, "coarse/xxt.solve", "coarse", v0, r.Time,
-			map[string]any{"cross_cols": len(s.CrossCols), "n": s.N})
+		s.solveVTime.Add(time.Duration((r.Time - v0) * float64(time.Second)))
 	}()
 	me := r.ID
+	if w == nil {
+		w = s.NewSolveWork(me)
+	}
 	lo, hi := s.BlockLo[me], s.BlockHi[me]
 	// Stage 1: z = Xᵀ b. Local columns owned by me are complete from my
 	// rows; cross columns get partial sums from every rank.
-	zCross := make([]float64, len(s.CrossCols))
+	zCross := w.zCross
 	// Owned-column partials, kept in ascending column order: stage 3
 	// accumulates them into u, and a map here would make that accumulation
 	// order (hence the roundoff) vary run to run.
-	zLocalJ := make([]int, 0, s.N/max(r.P(), 1)+1)
-	zLocalV := make([]float64, 0, cap(zLocalJ))
+	zLocalJ := w.zLocalJ[:0]
+	zLocalV := w.zLocalV[:0]
 	var flops int64
 	for j := 0; j < s.N; j++ {
 		ci := s.crossOf[j]
@@ -246,11 +283,15 @@ func (s *XXT) SolveOn(r *comm.Rank, bLocal []float64) []float64 {
 		zCross[ci] = sum
 	}
 	r.Compute(flops)
+	w.zLocalJ, w.zLocalV = zLocalJ, zLocalV // keep any growth for reuse
 	// Stage 2: combine the cross-column partials (log₂P stages, payload =
 	// CrossCount words — the separator volume of the paper's bound).
 	r.Allreduce(zCross, comm.OpSum)
 	// Stage 3: u = X z restricted to my rows.
-	u := make([]float64, hi-lo)
+	u := w.u[:hi-lo]
+	for i := range u {
+		u[i] = 0
+	}
 	flops = 0
 	for t, j := range zLocalJ {
 		z := zLocalV[t]

@@ -7,10 +7,25 @@ import (
 )
 
 // collectiveRankCounts covers P = 1, non-powers of two (including primes),
-// and powers of two, so both the recursive-doubling and binomial-tree code
-// paths run. These tests deliberately have no -short gate: they are the
+// powers of two, and the paper-scale counts 64/255/256, so the
+// recursive-doubling and binomial-tree code paths both run at small and
+// large fan-in. These tests deliberately have no -short gate: they are the
 // -race coverage for the collectives.
-var collectiveRankCounts = []int{1, 2, 3, 5, 6, 7, 8, 12}
+var collectiveRankCounts = []int{1, 2, 3, 5, 6, 7, 8, 12, 64, 255, 256}
+
+// largeRankCounts extends the sweep to the Fig. 6/8 machine size; skipped
+// under -short so the race-detector tier stays fast.
+var largeRankCounts = []int{1024}
+
+// rankCounts returns the per-test sweep: every awkward small count always,
+// P = 1024 only outside -short.
+func rankCounts() []int {
+	counts := append([]int(nil), collectiveRankCounts...)
+	if !testing.Short() {
+		counts = append(counts, largeRankCounts...)
+	}
+	return counts
+}
 
 // refReduce folds the per-rank vectors serially (rank order), matching the
 // deterministic reduction the simulated collectives promise.
@@ -24,7 +39,7 @@ func refReduce(vecs [][]float64, op ReduceOp) []float64 {
 
 func TestAllreduceEdgeRankCounts(t *testing.T) {
 	ops := map[string]ReduceOp{"sum": OpSum, "max": OpMax, "min": OpMin}
-	for _, p := range collectiveRankCounts {
+	for _, p := range rankCounts() {
 		for name, op := range ops {
 			rng := rand.New(rand.NewSource(int64(100*p) + int64(len(name))))
 			n := 5
@@ -62,7 +77,7 @@ func TestAllreduceEdgeRankCounts(t *testing.T) {
 }
 
 func TestBcastEdgeRankCounts(t *testing.T) {
-	for _, p := range collectiveRankCounts {
+	for _, p := range rankCounts() {
 		roots := []int{0}
 		if p > 1 {
 			roots = append(roots, p-1)
@@ -90,7 +105,7 @@ func TestBcastEdgeRankCounts(t *testing.T) {
 }
 
 func TestGatherEdgeRankCounts(t *testing.T) {
-	for _, p := range collectiveRankCounts {
+	for _, p := range rankCounts() {
 		roots := []int{0}
 		if p > 1 {
 			roots = append(roots, p/2, p-1)
@@ -129,7 +144,7 @@ func TestGatherEdgeRankCounts(t *testing.T) {
 }
 
 func TestBarrierEdgeRankCounts(t *testing.T) {
-	for _, p := range collectiveRankCounts {
+	for _, p := range rankCounts() {
 		ranks := NewNetwork(Machine{P: p, Latency: 1e-6, ByteSec: 1e-9, FlopSec: 1e-8}).Run(func(r *Rank) {
 			// Skew the clocks so the barrier has real work to synchronize.
 			r.Compute(int64(1000 * (r.ID + 1)))

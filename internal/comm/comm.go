@@ -10,6 +10,8 @@ package comm
 
 import (
 	"fmt"
+	"math/bits"
+	"sort"
 	"sync"
 	"time"
 
@@ -45,10 +47,15 @@ type message struct {
 // simulated machine models a network with buffering at the receiver, not a
 // rendezvous. Senders therefore never block; receivers wait on a condition
 // variable.
+// The queue is a head-indexed slice: take advances head instead of
+// reslicing (`q = q[1:]` strands the backing array and re-allocates
+// forever under sustained traffic), and once drained the slice rewinds to
+// q[:0] so steady-state delivery reuses one backing array.
 type mailbox struct {
 	mu   sync.Mutex
 	cond *sync.Cond
 	q    []message
+	head int
 }
 
 func newMailbox() *mailbox {
@@ -66,11 +73,16 @@ func (b *mailbox) put(m message) {
 
 func (b *mailbox) take() message {
 	b.mu.Lock()
-	for len(b.q) == 0 {
+	for b.head >= len(b.q) {
 		b.cond.Wait()
 	}
-	m := b.q[0]
-	b.q = b.q[1:]
+	m := b.q[b.head]
+	b.q[b.head] = message{} // drop the payload reference while it sits parked
+	b.head++
+	if b.head == len(b.q) {
+		b.q = b.q[:0]
+		b.head = 0
+	}
 	b.mu.Unlock()
 	return m
 }
@@ -201,9 +213,94 @@ type Rank struct {
 	Pauses   int64
 	StallSec float64
 
-	pending []message
-	flowSeq int64 // per-sender flow-id sequence (deterministic, no global state)
-	sendSeq int64 // per-sender message sequence feeding the fault plan's draws
+	// pending indexes parked messages by (from, tag): Recv with a backlog of
+	// B unrelated messages costs one map probe instead of an O(B) scan, which
+	// is the difference between P = 12 and P = 1024 on one box (the dense
+	// gs setup all-to-all parks ~P messages per rank). Keys are never
+	// deleted — the tag set is small and fixed (per-round collective tags
+	// plus the gs exchange tag) — so queue storage is reused across calls.
+	pending  map[pendingKey]*pendQ
+	recvHold []message // RecvEach scratch: at most one held message per source
+
+	// pool holds received payload buffers by power-of-two size class,
+	// rank-local so no locking is needed: callers return consumed buffers
+	// with Free, and this rank's next Send copies into one of them. A
+	// steady-state exchange (gs, allreduce) therefore allocates nothing.
+	// Deliberately not a sync.Pool: the GC may drain one at any time, which
+	// would break the zero-allocation guarantee the hot-path tests pin.
+	pool [payloadClasses][][]float64
+
+	scalBuf [1]float64 // AllreduceScalar scratch (collectives never nest)
+	flowSeq int64      // per-sender flow-id sequence (deterministic, no global state)
+	sendSeq int64      // per-sender message sequence feeding the fault plan's draws
+}
+
+// pendingKey identifies one (source rank, tag) stream of parked messages.
+type pendingKey struct{ from, tag int }
+
+// pendQ is a head-indexed FIFO of parked messages from one (from, tag).
+type pendQ struct {
+	q    []message
+	head int
+}
+
+func (p *pendQ) push(m message) { p.q = append(p.q, m) }
+
+func (p *pendQ) pop() (message, bool) {
+	if p.head >= len(p.q) {
+		return message{}, false
+	}
+	m := p.q[p.head]
+	p.q[p.head] = message{}
+	p.head++
+	if p.head == len(p.q) {
+		p.q = p.q[:0]
+		p.head = 0
+	}
+	return m, true
+}
+
+// payloadClasses bounds the pooled size classes at 2^(payloadClasses-1)
+// words (larger payloads fall back to plain allocation).
+const payloadClasses = 28
+
+// classFor returns the power-of-two size class holding n words (n >= 1).
+func classFor(n int) int { return bits.Len(uint(n - 1)) }
+
+// getPayload returns a buffer of length n backed by a pooled power-of-two
+// allocation (nil for n == 0).
+func (r *Rank) getPayload(n int) []float64 {
+	if n == 0 {
+		return nil
+	}
+	c := classFor(n)
+	if c < payloadClasses {
+		if fl := r.pool[c]; len(fl) > 0 {
+			b := fl[len(fl)-1]
+			fl[len(fl)-1] = nil
+			r.pool[c] = fl[:len(fl)-1]
+			return b[:n]
+		}
+	}
+	return make([]float64, n, 1<<c)
+}
+
+// Free returns a payload obtained from Recv or RecvEach to this rank's
+// buffer pool, to be reused by a later Send. Calling it is optional — an
+// unreturned buffer is simply garbage-collected — but the steady-state
+// exchanges (gather–scatter, allreduce) free every payload they consume,
+// which is what makes them allocation-free. The caller must not touch the
+// slice afterwards. Nil and non-pooled slices are ignored.
+func (r *Rank) Free(buf []float64) {
+	c := cap(buf)
+	if c == 0 || c&(c-1) != 0 {
+		return // not one of our power-of-two pooled buffers
+	}
+	cl := classFor(c)
+	if cl >= payloadClasses {
+		return
+	}
+	r.pool[cl] = append(r.pool[cl], buf[:0])
 }
 
 // ClockState is the checkpointable slice of a rank's communication state:
@@ -269,7 +366,7 @@ func (n *Network) Run(body func(r *Rank)) []*Rank {
 	var wg sync.WaitGroup
 	wg.Add(n.P)
 	for p := 0; p < n.P; p++ {
-		r := &Rank{ID: p, net: n}
+		r := &Rank{ID: p, net: n, pending: make(map[pendingKey]*pendQ)}
 		ranks[p] = r
 		go func() {
 			defer wg.Done()
@@ -349,18 +446,22 @@ func (r *Rank) Send(to, tag int, data []float64) {
 			map[string]any{"to": to, "tag": tag, "bytes": bytes})
 		tr.FlowV("s", r.ID, "msg", r.Time, flow)
 	}
-	cp := make([]float64, len(data))
+	// The payload copy keeps Send/Recv value semantics (the caller may
+	// overwrite data immediately); the buffer comes from the sender's pool so
+	// sustained traffic recycles returned receive buffers instead of
+	// allocating per message.
+	cp := r.getPayload(len(data))
 	copy(cp, data)
 	r.net.inboxes[to].put(message{from: r.ID, tag: tag, data: cp, arrival: r.Time, flow: flow})
 }
 
 // Recv blocks until a message with the given source and tag arrives and
 // returns its payload, advancing the receiver's clock to at least the
-// message arrival time.
+// message arrival time. The returned buffer may be handed back with Free
+// once consumed; holding on to it is also fine.
 func (r *Rank) Recv(from, tag int) []float64 {
-	for i, m := range r.pending {
-		if m.from == from && m.tag == tag {
-			r.pending = append(r.pending[:i], r.pending[i+1:]...)
+	if q := r.pending[pendingKey{from, tag}]; q != nil {
+		if m, ok := q.pop(); ok {
 			return r.deliver(m)
 		}
 	}
@@ -369,7 +470,65 @@ func (r *Rank) Recv(from, tag int) []float64 {
 		if m.from == from && m.tag == tag {
 			return r.deliver(m)
 		}
-		r.pending = append(r.pending, m)
+		r.park(m)
+	}
+}
+
+// park files a non-matching message under its (from, tag) stream.
+func (r *Rank) park(m message) {
+	k := pendingKey{m.from, m.tag}
+	q := r.pending[k]
+	if q == nil {
+		q = &pendQ{}
+		r.pending[k] = q
+	}
+	q.push(m)
+}
+
+// RecvEach receives exactly one message with the given tag from every rank
+// in froms (which must be strictly ascending), storing the payload from
+// froms[i] into out[i]. Unlike a loop of Recv calls, it consumes arrivals
+// in whatever order the network delivers them — the caller never blocks on
+// a slow sender while faster neighbours' messages queue up — holding at
+// most one message per source so a fast neighbour's *next*-round message
+// stays parked for the next call. Clock advancement, pause handling, and
+// trace emission then run in froms order, so traces, fault draws, and the
+// final clock are identical to the sequential-Recv formulation (deliver
+// only max-advances the clock, making the result order-independent) and
+// deterministic run to run. Pass consumed payloads to Free.
+func (r *Rank) RecvEach(froms []int, tag int, out [][]float64) {
+	if len(out) != len(froms) {
+		panic("comm: RecvEach out length mismatch")
+	}
+	if cap(r.recvHold) < len(froms) {
+		r.recvHold = make([]message, len(froms))
+	}
+	hold := r.recvHold[:len(froms)]
+	remaining := 0
+	for i, f := range froms {
+		hold[i] = message{from: -1}
+		if q := r.pending[pendingKey{f, tag}]; q != nil {
+			if m, ok := q.pop(); ok {
+				hold[i] = m
+				continue
+			}
+		}
+		remaining++
+	}
+	for remaining > 0 {
+		m := r.net.inboxes[r.ID].take()
+		if m.tag == tag {
+			if i := sort.SearchInts(froms, m.from); i < len(froms) && froms[i] == m.from && hold[i].from < 0 {
+				hold[i] = m
+				remaining--
+				continue
+			}
+		}
+		r.park(m)
+	}
+	for i := range hold {
+		out[i] = r.deliver(hold[i])
+		hold[i] = message{}
 	}
 }
 
@@ -490,6 +649,7 @@ func (r *Rank) allreduce(data []float64, op ReduceOp) {
 			r.Send(peer, tag, data)
 			got := r.Recv(peer, tag)
 			op(data, got)
+			r.Free(got)
 		}
 		return
 	}
@@ -506,6 +666,7 @@ func (r *Rank) reduceTree(data []float64, op ReduceOp) {
 			if src < p {
 				got := r.Recv(src, tagAllreduce+dist)
 				op(data, got)
+				r.Free(got)
 			}
 		} else if r.ID&(dist-1) == 0 {
 			r.Send(r.ID-dist, tagAllreduce+dist, data)
@@ -531,6 +692,7 @@ func (r *Rank) bcastTree(data []float64) {
 		case !received && r.ID%(2*dist) == dist:
 			got := r.Recv(r.ID-dist, tagBcast+dist)
 			copy(data, got)
+			r.Free(got)
 			received = true
 		}
 	}
@@ -566,7 +728,9 @@ func (r *Rank) bcast(data []float64, root int) {
 		if r.ID == root {
 			r.Send(0, tagBcast, data)
 		} else if r.ID == 0 {
-			copy(data, r.Recv(root, tagBcast))
+			got := r.Recv(root, tagBcast)
+			copy(data, got)
+			r.Free(got)
 		}
 	}
 	r.bcastTree(data)
@@ -591,11 +755,13 @@ func (r *Rank) Barrier() {
 	}
 }
 
-// AllreduceScalar is a convenience for a single value.
+// AllreduceScalar is a convenience for a single value. The scratch word
+// lives on the rank (collectives never nest), so the per-iteration scalar
+// reductions of a CG loop allocate nothing.
 func (r *Rank) AllreduceScalar(v float64, op ReduceOp) float64 {
-	buf := []float64{v}
-	r.Allreduce(buf, op)
-	return buf[0]
+	r.scalBuf[0] = v
+	r.Allreduce(r.scalBuf[:], op)
+	return r.scalBuf[0]
 }
 
 // Gather collects each rank's data at root (concatenated by rank id, all
@@ -638,6 +804,7 @@ func (r *Rank) gather(data []float64, root int) []float64 {
 				src := (srcV + root) % p
 				got := r.Recv(src, tagGather+dist)
 				acc = append(acc, got...)
+				r.Free(got)
 			}
 		} else if vid&(dist-1) == 0 {
 			dst := (vid - dist + root) % p

@@ -1,0 +1,236 @@
+package comm
+
+import (
+	"math"
+	"runtime"
+	"runtime/debug"
+	"testing"
+)
+
+// These tests pin the hot-path properties the large-P runs depend on:
+// RecvEach's arrival-order consumption must be observationally identical to
+// a sequential Recv loop (payloads, clocks, traces), the payload pool must
+// actually be reused, and a steady-state allreduce must allocate nothing.
+
+// runAllToAll executes `rounds` of an all-to-all exchange on P ranks,
+// receiving either with a sequential Recv loop or with RecvEach, and
+// returns every rank's received values (in (round, source) order) and
+// final virtual clock.
+func runAllToAll(p, rounds int, useEach bool) (vals [][]float64, clocks []float64) {
+	vals = make([][]float64, p)
+	ranks := NewNetwork(Machine{P: p, Latency: 2e-6, ByteSec: 1e-9, FlopSec: 1e-9}).Run(func(r *Rank) {
+		froms := make([]int, 0, p-1)
+		for q := 0; q < p; q++ {
+			if q != r.ID {
+				froms = append(froms, q)
+			}
+		}
+		out := make([][]float64, len(froms))
+		for round := 0; round < rounds; round++ {
+			// Skew the clocks so message arrival order differs from source
+			// order at most receivers.
+			r.Compute(int64(1000 * ((r.ID*7 + round*3) % 11)))
+			buf := []float64{float64(r.ID*1000 + round), float64(round)}
+			for _, q := range froms {
+				r.Send(q, 7, buf)
+			}
+			if useEach {
+				r.RecvEach(froms, 7, out)
+				for i := range out {
+					vals[r.ID] = append(vals[r.ID], out[i]...)
+					r.Free(out[i])
+					out[i] = nil
+				}
+			} else {
+				for _, q := range froms {
+					got := r.Recv(q, 7)
+					vals[r.ID] = append(vals[r.ID], got...)
+					r.Free(got)
+				}
+			}
+		}
+	})
+	clocks = make([]float64, p)
+	for i, rk := range ranks {
+		clocks[i] = rk.Time
+	}
+	return vals, clocks
+}
+
+func TestRecvEachMatchesSequentialRecv(t *testing.T) {
+	for _, p := range []int{2, 3, 8, 13} {
+		refVals, refClocks := runAllToAll(p, 4, false)
+		gotVals, gotClocks := runAllToAll(p, 4, true)
+		for q := 0; q < p; q++ {
+			if gotClocks[q] != refClocks[q] {
+				t.Fatalf("P=%d rank %d: RecvEach clock %v != sequential Recv clock %v",
+					p, q, gotClocks[q], refClocks[q])
+			}
+			if len(gotVals[q]) != len(refVals[q]) {
+				t.Fatalf("P=%d rank %d: received %d values, want %d",
+					p, q, len(gotVals[q]), len(refVals[q]))
+			}
+			for i := range refVals[q] {
+				if gotVals[q][i] != refVals[q][i] {
+					t.Fatalf("P=%d rank %d: value %d = %g, want %g",
+						p, q, i, gotVals[q][i], refVals[q][i])
+				}
+			}
+		}
+	}
+}
+
+func TestRecvEachOutOfOrderStress(t *testing.T) {
+	// Unbarriered rounds on a ring-with-chords topology: fast ranks run
+	// ahead, so a receiver regularly sees a neighbour's round r+1 message
+	// while still collecting round r. RecvEach must hold at most one message
+	// per source (parking the early next-round arrival), and unrelated-tag
+	// traffic interleaved on the same links must park and drain intact. Two
+	// runs must agree bitwise on every clock — goroutine scheduling, which
+	// really does vary arrival order in the mailboxes, must not leak into
+	// the simulated machine. This test is part of the -race coverage.
+	const p = 32
+	const rounds = 20
+	run := func() []float64 {
+		clocks := make([]float64, p)
+		NewNetwork(Machine{P: p, Latency: 1e-6, ByteSec: 1e-9, FlopSec: 1e-9}).Run(func(r *Rank) {
+			seen := make(map[int]bool)
+			froms := make([]int, 0, 6)
+			for _, o := range []int{-3, -2, -1, 1, 2, 3} {
+				q := (r.ID + o + p) % p
+				if q != r.ID && !seen[q] {
+					seen[q] = true
+					froms = append(froms, q)
+				}
+			}
+			// RecvEach requires ascending sources.
+			for i := 1; i < len(froms); i++ {
+				for j := i; j > 0 && froms[j] < froms[j-1]; j-- {
+					froms[j], froms[j-1] = froms[j-1], froms[j]
+				}
+			}
+			out := make([][]float64, len(froms))
+			next := (r.ID + 1) % p
+			prev := (r.ID - 1 + p) % p
+			for round := 0; round < rounds; round++ {
+				r.Compute(int64(100 * ((r.ID*13 + round*5) % 17)))
+				payload := []float64{float64(r.ID), float64(round)}
+				for _, q := range froms {
+					r.Send(q, 7, payload)
+				}
+				// Side stream on another tag: must park across the whole run.
+				r.Send(next, 9, []float64{float64(round)})
+				r.RecvEach(froms, 7, out)
+				for i, got := range out {
+					if len(got) != 2 || got[0] != float64(froms[i]) || got[1] != float64(round) {
+						t.Errorf("rank %d round %d: from %d got %v, want [%d %d]",
+							r.ID, round, froms[i], got, froms[i], round)
+					}
+					r.Free(got)
+					out[i] = nil
+				}
+			}
+			// The parked side stream drains in FIFO order.
+			for round := 0; round < rounds; round++ {
+				got := r.Recv(prev, 9)
+				if len(got) != 1 || got[0] != float64(round) {
+					t.Errorf("rank %d: side-stream message %d = %v", r.ID, round, got)
+				}
+				r.Free(got)
+			}
+			clocks[r.ID] = r.Time
+		})
+		return clocks
+	}
+	c1 := run()
+	c2 := run()
+	for q := range c1 {
+		if math.Float64bits(c1[q]) != math.Float64bits(c2[q]) {
+			t.Fatalf("rank %d: clock not deterministic across runs: %v vs %v", q, c1[q], c2[q])
+		}
+	}
+}
+
+func TestClassFor(t *testing.T) {
+	cases := []struct{ n, class int }{
+		{1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4},
+		{1024, 10}, {1025, 11},
+	}
+	for _, c := range cases {
+		if got := classFor(c.n); got != c.class {
+			t.Errorf("classFor(%d) = %d, want %d", c.n, got, c.class)
+		}
+	}
+}
+
+func TestFreePoolSafety(t *testing.T) {
+	NewNetwork(Machine{P: 1, Latency: 1e-6, ByteSec: 1e-9}).Run(func(r *Rank) {
+		// Nil and foreign (non-power-of-two capacity) slices are ignored.
+		r.Free(nil)
+		r.Free(make([]float64, 5, 5))
+		r.Free(make([]float64, 0, 12))
+
+		if got := r.getPayload(0); got != nil {
+			t.Errorf("getPayload(0) = %v, want nil", got)
+		}
+		b := r.getPayload(100)
+		if len(b) != 100 || cap(b) != 128 {
+			t.Fatalf("getPayload(100): len %d cap %d, want 100/128", len(b), cap(b))
+		}
+		r.Free(b)
+		// A same-class request must reuse the returned backing array.
+		b2 := r.getPayload(70)
+		if len(b2) != 70 || &b[0] != &b2[0] {
+			t.Errorf("pooled buffer not reused: len %d, same backing %v", len(b2), &b[0] == &b2[0])
+		}
+		// A different class allocates fresh.
+		b3 := r.getPayload(300)
+		if cap(b3) != 512 {
+			t.Errorf("getPayload(300) cap = %d, want 512", cap(b3))
+		}
+	})
+}
+
+func TestAllreduceSteadyStateZeroAlloc(t *testing.T) {
+	// The regression the large-P runs depend on: after warmup, vector and
+	// scalar allreduces must run out of the per-rank payload pools with no
+	// heap allocation at all. testing.AllocsPerRun cannot express this (the
+	// network's Run goroutines allocate), so the measurement is a MemStats
+	// delta taken on rank 0 across a collectively-synchronized window while
+	// GC is disabled (GC assists could otherwise attribute noise here).
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	const p = 8
+	const warm, iters = 25, 200
+	var steady uint64
+	NewNetwork(Machine{P: p, Latency: 1e-6, ByteSec: 1e-9}).Run(func(r *Rank) {
+		buf := make([]float64, 33) // non-power-of-two: rounds up inside its size class
+		for i := range buf {
+			buf[i] = float64(r.ID + i)
+		}
+		for it := 0; it < warm; it++ {
+			r.Allreduce(buf, OpMax)
+			r.AllreduceScalar(float64(r.ID+it), OpMax)
+		}
+		// Line every rank up at the measurement boundary, then measure.
+		r.AllreduceScalar(0, OpSum)
+		var m0, m1 runtime.MemStats
+		if r.ID == 0 {
+			runtime.ReadMemStats(&m0)
+		}
+		for it := 0; it < iters; it++ {
+			r.Allreduce(buf, OpMax)
+			r.AllreduceScalar(float64(it), OpMin)
+		}
+		r.AllreduceScalar(0, OpSum)
+		if r.ID == 0 {
+			runtime.ReadMemStats(&m1)
+			steady = m1.Mallocs - m0.Mallocs
+		}
+	})
+	// Zero is the design point; allow a handful of runtime-internal
+	// allocations. A per-message regression would show up as thousands
+	// (iters * collectives * log2(P) sends).
+	if steady > 64 {
+		t.Errorf("steady-state allreduce allocated %d objects over %d iterations, want ~0", steady, iters)
+	}
+}

@@ -159,11 +159,20 @@ func (h *Handle) DotAssembled(u, v []float64) float64 {
 type ParHandle struct {
 	local *Handle
 	rank  *comm.Rank
-	// For each neighbour rank: the shared global ids (sorted), and for each
-	// such gid one representative local index plus all local indices.
+	// For each neighbour rank: the shared global ids (sorted) plus the
+	// precomputed gather/accumulate indices the steady-state Apply uses.
 	neighbours []neighbour
-	repIdx     map[int64]int32   // gid -> representative local index
-	allIdx     map[int64][]int32 // gid -> all local indices
+	fromRanks  []int       // neighbour ranks, ascending (the RecvEach sources)
+	recvBufs   [][]float64 // RecvEach destination scratch (pooled payloads)
+
+	// Flat accumulator replacing the per-call map: every distinct shared
+	// gid owns one slot. slotRep seeds the slot from the locally combined
+	// value; the write-back scatters slot s to the local indices
+	// slotLoc[slotPtr[s]:slotPtr[s+1]].
+	slotVal []float64
+	slotRep []int32
+	slotPtr []int32
+	slotLoc []int32
 
 	// Exchange-volume instrumentation (nil = off): messages and 8-byte
 	// words sent per Apply, plus the virtual time each exchange spans
@@ -175,8 +184,11 @@ type ParHandle struct {
 }
 
 type neighbour struct {
-	rank int
-	gids []int64 // sorted shared gids
+	rank    int
+	gids    []int64   // sorted shared gids
+	sendIdx []int32   // per gid: representative local index to gather from
+	sendBuf []float64 // preallocated outgoing payload
+	slotIdx []int32   // per gid: accumulator slot the reply folds into
 }
 
 const (
@@ -190,13 +202,16 @@ const (
 // "owner" ranks (setup only); the recurring exchange is pairwise.
 func ParInit(r *comm.Rank, gids []int64) *ParHandle {
 	p := r.P()
-	h := &ParHandle{local: Init(gids), rank: r,
-		repIdx: make(map[int64]int32), allIdx: make(map[int64][]int32)}
+	h := &ParHandle{local: Init(gids), rank: r}
+	// Setup-only lookup tables; the steady-state Apply uses the flat index
+	// arrays built at the end instead.
+	repIdx := make(map[int64]int32, len(gids))
+	allIdx := make(map[int64][]int32, len(gids))
 	for i, g := range gids {
-		if _, ok := h.repIdx[g]; !ok {
-			h.repIdx[g] = int32(i)
+		if _, ok := repIdx[g]; !ok {
+			repIdx[g] = int32(i)
 		}
-		h.allIdx[g] = append(h.allIdx[g], int32(i))
+		allIdx[g] = append(allIdx[g], int32(i))
 	}
 	if p == 1 {
 		return h
@@ -206,7 +221,7 @@ func ParInit(r *comm.Rank, gids []int64) *ParHandle {
 	// map, so setup messages are deterministic).
 	toOwner := make([][]float64, p)
 	for i, g := range gids {
-		if h.repIdx[g] != int32(i) {
+		if repIdx[g] != int32(i) {
 			continue // not the first occurrence
 		}
 		o := owner(g)
@@ -230,7 +245,9 @@ func ParInit(r *comm.Rank, gids []int64) *ParHandle {
 		if q == r.ID {
 			continue
 		}
-		record(q, r.Recv(q, tagSetupToOwner))
+		lst := r.Recv(q, tagSetupToOwner)
+		record(q, lst)
+		r.Free(lst)
 	}
 	// 2. Owners answer every holder with (gid, holder list) for shared gids.
 	reply := make([][]float64, p)
@@ -271,7 +288,9 @@ func ParInit(r *comm.Rank, gids []int64) *ParHandle {
 		if q == r.ID {
 			continue
 		}
-		parse(r.Recv(q, tagSetupFromOwn))
+		lst := r.Recv(q, tagSetupFromOwn)
+		parse(lst)
+		r.Free(lst)
 	}
 	for q, gs := range shared {
 		slices.Sort(gs)
@@ -279,6 +298,44 @@ func ParInit(r *comm.Rank, gids []int64) *ParHandle {
 	}
 	// Deterministic neighbour order.
 	slices.SortFunc(h.neighbours, func(a, b neighbour) int { return a.rank - b.rank })
+
+	// Precompute the steady-state exchange: gather indices and payload
+	// buffers per neighbour, and one accumulator slot per distinct shared
+	// gid. Slots are assigned on first appearance in neighbour order; the
+	// fold itself always runs in neighbour order seeded from the
+	// representative copy, so the floating-point combine order — and with it
+	// every assembled value — is exactly the sequential formulation's.
+	slotOf := make(map[int64]int32)
+	var sharedGids []int64
+	for ni := range h.neighbours {
+		nb := &h.neighbours[ni]
+		nb.sendIdx = make([]int32, len(nb.gids))
+		nb.sendBuf = make([]float64, len(nb.gids))
+		nb.slotIdx = make([]int32, len(nb.gids))
+		for i, g := range nb.gids {
+			nb.sendIdx[i] = repIdx[g]
+			s, ok := slotOf[g]
+			if !ok {
+				s = int32(len(sharedGids))
+				slotOf[g] = s
+				sharedGids = append(sharedGids, g)
+			}
+			nb.slotIdx[i] = s
+		}
+		h.fromRanks = append(h.fromRanks, nb.rank)
+	}
+	h.recvBufs = make([][]float64, len(h.neighbours))
+	h.slotVal = make([]float64, len(sharedGids))
+	h.slotRep = make([]int32, len(sharedGids))
+	h.slotPtr = make([]int32, len(sharedGids)+1)
+	for s, g := range sharedGids {
+		h.slotRep[s] = repIdx[g]
+		h.slotPtr[s+1] = h.slotPtr[s] + int32(len(allIdx[g]))
+	}
+	h.slotLoc = make([]int32, h.slotPtr[len(sharedGids)])
+	for s, g := range sharedGids {
+		copy(h.slotLoc[h.slotPtr[s]:], allIdx[g])
+	}
 	return h
 }
 
@@ -295,6 +352,12 @@ func (h *ParHandle) Attach(reg *instrument.Registry) {
 func (h *ParHandle) AttachTracer(tr *instrument.Tracer) { h.tracer = tr }
 
 // Apply performs the distributed gather–scatter on the local vector u.
+// The steady-state exchange is allocation-free: payloads gather into
+// buffers preallocated by ParInit, all sends post before any receive is
+// waited on, and RecvEach consumes replies in arrival order — a slow
+// neighbour never blocks the pickup of a fast one — while the fold into
+// the fixed slot accumulators runs in neighbour order, keeping every
+// assembled value bitwise identical to the sequential formulation.
 func (h *ParHandle) Apply(u []float64, op Op) {
 	// Local combine first.
 	h.local.Apply(u, op)
@@ -304,37 +367,41 @@ func (h *ParHandle) Apply(u []float64, op Op) {
 	t0 := h.rank.Time
 	var words int
 	// Pairwise exchange: send my combined value for each shared gid.
-	for _, nb := range h.neighbours {
-		msg := make([]float64, len(nb.gids))
-		for i, g := range nb.gids {
-			msg[i] = u[h.repIdx[g]]
+	for ni := range h.neighbours {
+		nb := &h.neighbours[ni]
+		for i, idx := range nb.sendIdx {
+			nb.sendBuf[i] = u[idx]
 		}
-		h.rank.Send(nb.rank, tagExchange, msg)
+		h.rank.Send(nb.rank, tagExchange, nb.sendBuf)
 		h.exchMsgs.Inc()
-		h.exchWords.Add(int64(len(msg)))
-		words += len(msg)
+		h.exchWords.Add(int64(len(nb.sendBuf)))
+		words += len(nb.sendBuf)
 	}
+	h.rank.RecvEach(h.fromRanks, tagExchange, h.recvBufs)
 	// Accumulate neighbour contributions on top of the local combined
 	// values (op is commutative/associative, so pairwise folding is exact
 	// in the same sense as the paper's implementation).
-	acc := make(map[int64]float64, 64)
-	for _, nb := range h.neighbours {
-		got := h.rank.Recv(nb.rank, tagExchange)
-		for i, g := range nb.gids {
-			v, ok := acc[g]
-			if !ok {
-				v = u[h.repIdx[g]]
-			}
-			acc[g] = combine(op, v, got[i])
+	for s, idx := range h.slotRep {
+		h.slotVal[s] = u[idx]
+	}
+	for ni := range h.neighbours {
+		nb := &h.neighbours[ni]
+		got := h.recvBufs[ni]
+		for i, s := range nb.slotIdx {
+			h.slotVal[s] = combine(op, h.slotVal[s], got[i])
+		}
+		h.rank.Free(got)
+		h.recvBufs[ni] = nil
+	}
+	for s, v := range h.slotVal {
+		for t := h.slotPtr[s]; t < h.slotPtr[s+1]; t++ {
+			u[h.slotLoc[t]] = v
 		}
 	}
-	for g, v := range acc {
-		for _, i := range h.allIdx[g] {
-			u[i] = v
-		}
+	if h.tracer != nil {
+		h.tracer.SpanV(h.rank.ID, "gs/exchange", "gs", t0, h.rank.Time,
+			map[string]any{"neighbours": len(h.neighbours), "words": words})
 	}
-	h.tracer.SpanV(h.rank.ID, "gs/exchange", "gs", t0, h.rank.Time,
-		map[string]any{"neighbours": len(h.neighbours), "words": words})
 	h.exchVTime.Add(time.Duration((h.rank.Time - t0) * float64(time.Second)))
 }
 

@@ -83,6 +83,14 @@ type NSResult struct {
 	StepStats   []ns.StepStats // per executed step (identical on all ranks)
 	StepVirtual []float64      // per executed step: modeled elapsed seconds (max across ranks)
 
+	// PhaseVirtual breaks the modeled stepping time down by phase: the
+	// per-rank average virtual seconds spent in convection subintegration,
+	// the viscous Helmholtz solves, the pressure solve (the Schwarz/XXT/
+	// allreduce-heavy phase), and the filter + end-of-step bookkeeping,
+	// totalled over the executed steps. The strong-scaling study reads the
+	// work-dominated → latency-dominated crossover from these four numbers.
+	PhaseVirtual [4]float64
+
 	// Converged is true only when every pressure and viscous solve of every
 	// step hit its tolerance; NonconvergedSteps counts the offenders.
 	Converged         bool
@@ -113,7 +121,8 @@ type rankStep struct {
 	resHist []float64
 	maxDiv  float64
 	filterE float64
-	vEnd    float64 // rank virtual clock at the end of the step
+	vEnd    float64    // rank virtual clock at the end of the step
+	phase   [4]float64 // virtual seconds in convect/viscous/pressure/filter
 }
 
 type rankOut struct {
@@ -193,9 +202,19 @@ func NavierStokes(nscfg ns.Config, cfg NSConfig) (*NSResult, error) {
 	net.AttachTracer(cfg.Tracer)
 	net.SetFaults(cfg.Faults)
 
+	// The permuted-to-original vertex map is identical on every rank:
+	// compute it once here instead of NVert-sized work and storage per rank.
+	var invPerm []int
+	if xxt != nil {
+		invPerm = make([]int, len(xxt.Perm))
+		for newi, old := range xxt.Perm {
+			invPerm[old] = newi
+		}
+	}
+
 	outs := make([]rankOut, p)
 	ranks := net.Run(func(r *comm.Rank) {
-		outs[r.ID] = nsRankBody(r, tmpl, elems[r.ID], xxt, cfg, sink, firstStep)
+		outs[r.ID] = nsRankBody(r, tmpl, elems[r.ID], xxt, invPerm, cfg, sink, firstStep)
 	})
 	if sink != nil && sink.err != nil {
 		return nil, fmt.Errorf("parrun: checkpoint write: %w", sink.err)
@@ -262,6 +281,9 @@ func NavierStokes(nscfg ns.Config, cfg NSConfig) (*NSResult, error) {
 		for q := range outs {
 			if outs[q].steps[k].vEnd > endV {
 				endV = outs[q].steps[k].vEnd
+			}
+			for i, v := range outs[q].steps[k].phase {
+				res.PhaseVirtual[i] += v / float64(p)
 			}
 		}
 		res.StepVirtual = append(res.StepVirtual, endV-prevV)
@@ -359,11 +381,30 @@ type nsRank struct {
 	projector      *solver.Projector
 
 	// Distributed Schwarz+XXT pieces (nil xxt when the precond is off).
+	// invPerm is shared, read-only, computed once by the driver — 1024 rank
+	// bodies each rebuilding an NVert-length permutation is exactly the
+	// replicated-setup cost the large-P path cannot afford.
 	pre     *schwarz.Precond
 	xxt     *coarse.XXT
 	lwork   *schwarz.LocalWork
 	invPerm []int
 	lo, hi  int
+
+	// Coarse-solve arenas: pressurePrecond runs every CG iteration and its
+	// NVert-length temporaries dominated the allocation profile at large P.
+	r0Arena []float64
+	upArena []float64
+	x0Arena []float64
+	blArena []float64
+	xxtWork *coarse.SolveWork
+
+	gtBlocks [][]float64 // gradT per-component block headers
+	advFlds  [][]float64 // advectInto field headers
+
+	// phaseV accumulates the rank's virtual seconds per stepper phase
+	// (convect, viscous, pressure, filter + step bookkeeping) across all
+	// executed steps — the raw material of the strong-scaling breakdown.
+	phaseV [4]float64
 
 	// Per-element flop charges for the rank's virtual clock.
 	stiffF, gradF, filtF int64
@@ -372,8 +413,8 @@ type nsRank struct {
 }
 
 // nsRankBody is the SPMD body of one rank of the distributed stepper.
-func nsRankBody(r *comm.Rank, tmpl *ns.Solver, mine []int, xxt *coarse.XXT, cfg NSConfig,
-	sink *ckptSink, firstStep int) rankOut {
+func nsRankBody(r *comm.Rank, tmpl *ns.Solver, mine []int, xxt *coarse.XXT, invPerm []int,
+	cfg NSConfig, sink *ckptSink, firstStep int) rankOut {
 	m := tmpl.M
 	k := &nsRank{
 		r: r, tmpl: tmpl, d: tmpl.Disc(), mine: mine, cfg: cfg,
@@ -447,12 +488,16 @@ func nsRankBody(r *comm.Rank, tmpl *ns.Solver, mine []int, xxt *coarse.XXT, cfg 
 	if k.pre != nil {
 		k.lwork = k.pre.NewLocalWork()
 		nv := m.NVert
-		k.invPerm = make([]int, nv)
-		for newi, old := range xxt.Perm {
-			k.invPerm[old] = newi
-		}
+		k.invPerm = invPerm
 		k.lo, k.hi = xxt.BlockLo[r.ID], xxt.BlockHi[r.ID]
+		k.r0Arena = make([]float64, nv)
+		k.upArena = make([]float64, nv)
+		k.x0Arena = make([]float64, nv)
+		k.blArena = make([]float64, k.hi-k.lo)
+		k.xxtWork = xxt.NewSolveWork(r.ID)
 	}
+	k.gtBlocks = make([][]float64, k.dim)
+	k.advFlds = make([][]float64, k.dim)
 	if l := tmpl.Cfg.ProjectionL; l > 0 {
 		k.projector = solver.NewProjector(l, k.applyE, k.pressureDot)
 	}
@@ -671,7 +716,7 @@ func (k *nsRank) gradT(outs [][]float64, p []float64) {
 		}
 	}
 	np, npp := k.np, k.npp
-	blocks := make([][]float64, k.dim)
+	blocks := k.gtBlocks
 	for li, e := range k.mine {
 		for c := 0; c < k.dim; c++ {
 			blocks[c] = outs[c][li*np : (li+1)*np]
@@ -769,32 +814,42 @@ func (k *nsRank) pressurePrecond(out, r []float64) {
 		panic(err)
 	}
 	rk.Compute(flops)
-	tr.SpanV(rk.ID, "schwarz/local", "precond", t0, rk.Time,
-		map[string]any{"elems": len(k.mine)})
+	if tr != nil {
+		tr.SpanV(rk.ID, "schwarz/local", "precond", t0, rk.Time,
+			map[string]any{"elems": len(k.mine)})
+	}
 	k.h.Apply(zv, gs.Sum)
 	// Coarse term from the assembled residual rv, as in the serial sandwich.
 	t1 := rk.Time
 	nv := k.tmpl.M.NVert
-	r0 := make([]float64, nv)
+	r0 := k.r0Arena
+	for i := range r0 {
+		r0[i] = 0
+	}
 	cf := k.pre.CoarseRestrictElems(r0, rv, k.mine)
 	rk.Compute(cf)
 	rk.Allreduce(r0, comm.OpSum)
-	bLocal := make([]float64, k.hi-k.lo)
+	bLocal := k.blArena
 	for newi := k.lo; newi < k.hi; newi++ {
 		bLocal[newi-k.lo] = r0[k.xxt.Perm[newi]]
 	}
-	uLocal := k.xxt.SolveOn(rk, bLocal)
-	up := make([]float64, nv)
+	uLocal := k.xxt.SolveOnW(rk, bLocal, k.xxtWork)
+	up := k.upArena
+	for i := range up {
+		up[i] = 0
+	}
 	copy(up[k.lo:k.hi], uLocal)
 	rk.Allreduce(up, comm.OpSum)
-	x0 := make([]float64, nv)
+	x0 := k.x0Arena
 	for old := 0; old < nv; old++ {
 		x0[old] = up[k.invPerm[old]]
 	}
 	cf = k.pre.CoarseProlongElems(zv, x0, k.mine)
 	rk.Compute(cf)
-	tr.SpanV(rk.ID, "schwarz/coarse", "precond", t1, rk.Time,
-		map[string]any{"nvert": nv})
+	if tr != nil {
+		tr.SpanV(rk.ID, "schwarz/coarse", "precond", t1, rk.Time,
+			map[string]any{"nvert": nv})
+	}
 	for li := range k.mine {
 		k.tmpl.RestrictVPElem(out[li*npp:(li+1)*npp], zv[li*np:(li+1)*np], k.iwork)
 	}
@@ -958,7 +1013,7 @@ func (k *nsRank) advectInto(v [3][]float64, u0 [3][]float64, tau, cflDt float64,
 	for c := 0; c < k.dim; c++ {
 		copy(v[c], u0[c])
 	}
-	fields := make([][]float64, k.dim)
+	fields := k.advFlds
 	for c := 0; c < k.dim; c++ {
 		fields[c] = v[c]
 	}
@@ -1000,8 +1055,10 @@ func (k *nsRank) step(stepNo int) (rankStep, error) {
 	}
 	st.Substeps = totalSub
 	k.histBuf = hist[:0]
-	tr.SpanV(r.ID, "ns/convect", "ns", tConv, r.Time,
-		map[string]any{"step": stepNo, "substeps": totalSub})
+	if tr != nil {
+		tr.SpanV(r.ID, "ns/convect", "ns", tConv, r.Time,
+			map[string]any{"step": stepNo, "substeps": totalSub})
+	}
 
 	// --- Viscous Helmholtz solves. ---
 	tVisc := r.Time
@@ -1072,8 +1129,10 @@ func (k *nsRank) step(stepNo int) (rankStep, error) {
 			u[i] += du[i]
 		}
 	}
-	tr.SpanV(r.ID, "ns/viscous", "ns", tVisc, r.Time,
-		map[string]any{"step": stepNo, "iters": st.HelmholtzIters[0]})
+	if tr != nil {
+		tr.SpanV(r.ID, "ns/viscous", "ns", tVisc, r.Time,
+			map[string]any{"step": stepNo, "iters": st.HelmholtzIters[0]})
+	}
 
 	// --- Pressure correction: E δp = -(β/Δt) D u*. ---
 	tPres := r.Time
@@ -1118,8 +1177,10 @@ func (k *nsRank) step(stepNo int) (rankStep, error) {
 		}
 	}
 	k.r.Compute(int64(3 * k.dim * k.nloc))
-	tr.SpanV(r.ID, "ns/pressure", "ns", tPres, r.Time,
-		map[string]any{"step": stepNo, "iterations": pstats.Iterations, "converged": pstats.Converged})
+	if tr != nil {
+		tr.SpanV(r.ID, "ns/pressure", "ns", tPres, r.Time,
+			map[string]any{"step": stepNo, "iterations": pstats.Iterations, "converged": pstats.Converged})
+	}
 
 	// --- Filter, rotate history, commit. ---
 	tFilt := r.Time
@@ -1146,8 +1207,10 @@ func (k *nsRank) step(stepNo int) (rankStep, error) {
 			filterRemoved -= k.dotV(k.ustar[c], k.ustar[c])
 		}
 	}
-	tr.SpanV(r.ID, "ns/filter", "ns", tFilt, r.Time,
-		map[string]any{"step": stepNo})
+	if tr != nil {
+		tr.SpanV(r.ID, "ns/filter", "ns", tFilt, r.Time,
+			map[string]any{"step": stepNo})
+	}
 
 	keep := cfg.Order - 1
 	if keep > 0 {
@@ -1209,5 +1272,12 @@ func (k *nsRank) step(stepNo int) (rankStep, error) {
 		rec.resHist = append([]float64(nil), pstats.ResHist...)
 	}
 	rec.vEnd = r.Time
+	// Phase breakdown on the rank's virtual clock; the filter slot also
+	// carries the end-of-step bookkeeping (history rotation, NaN allreduce,
+	// optional divergence telemetry).
+	rec.phase = [4]float64{tVisc - tConv, tPres - tVisc, tFilt - tPres, r.Time - tFilt}
+	for i, v := range rec.phase {
+		k.phaseV[i] += v
+	}
 	return rec, nil
 }

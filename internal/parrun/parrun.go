@@ -101,10 +101,16 @@ func PoissonSchwarz(m *mesh.Mesh, cfg Config) (*Result, error) {
 	net.Attach(cfg.Registry)
 	net.AttachTracer(cfg.Tracer)
 
+	// Shared, read-only across ranks: computed once instead of per body.
+	invPerm := make([]int, len(xxt.Perm))
+	for newi, old := range xxt.Perm {
+		invPerm[old] = newi
+	}
+
 	stats := make([]solver.Stats, p)
 	xs := make([][]float64, p)
 	ranks := net.Run(func(r *comm.Rank) {
-		stats[r.ID], xs[r.ID] = rankBody(r, m, mask, neumann, elems[r.ID], pre, xxt, cfg)
+		stats[r.ID], xs[r.ID] = rankBody(r, m, mask, neumann, elems[r.ID], pre, xxt, invPerm, cfg)
 	})
 	if err := checkStatsAgree(stats); err != nil {
 		return nil, err
@@ -190,7 +196,7 @@ func maskOrNil(mask []float64, neumann bool) []float64 {
 
 // rankBody is the SPMD body of one simulated rank.
 func rankBody(r *comm.Rank, m *mesh.Mesh, mask []float64, neumann bool,
-	mine []int, pre *schwarz.Precond, xxt *coarse.XXT, cfg Config) (solver.Stats, []float64) {
+	mine []int, pre *schwarz.Precond, xxt *coarse.XXT, invPerm []int, cfg Config) (solver.Stats, []float64) {
 	tr := cfg.Tracer
 	nloc := len(mine) * m.Np
 	gids := make([]int64, nloc)
@@ -271,14 +277,18 @@ func rankBody(r *comm.Rank, m *mesh.Mesh, mask []float64, neumann bool,
 	}
 
 	// Additive Schwarz: FDM local solves + distributed XXT coarse solve.
+	// The coarse-term temporaries are arenas allocated once per rank — the
+	// precond runs every CG iteration and its NVert-length buffers were the
+	// dominant allocation at large P.
 	work := pre.NewLocalWork()
 	nv := m.NVert
 	perm := xxt.Perm
-	invPerm := make([]int, nv)
-	for newi, old := range perm {
-		invPerm[old] = newi
-	}
 	lo, hi := xxt.BlockLo[r.ID], xxt.BlockHi[r.ID]
+	r0 := make([]float64, nv)
+	up := make([]float64, nv)
+	x0 := make([]float64, nv)
+	bLocal := make([]float64, hi-lo)
+	xw := xxt.NewSolveWork(r.ID)
 	precond := func(out, in []float64) {
 		t0 := r.Time
 		flops, err := pre.LocalSolveElems(out, in, mine, work)
@@ -286,32 +296,38 @@ func rankBody(r *comm.Rank, m *mesh.Mesh, mask []float64, neumann bool,
 			panic(err)
 		}
 		r.Compute(flops)
-		tr.SpanV(r.ID, "schwarz/local", "precond", t0, r.Time,
-			map[string]any{"elems": len(mine)})
+		if tr != nil {
+			tr.SpanV(r.ID, "schwarz/local", "precond", t0, r.Time,
+				map[string]any{"elems": len(mine)})
+		}
 		h.Apply(out, gs.Sum)
 		// Coarse term: restrict over my elements, allreduce the vertex RHS,
 		// distributed XXT solve, allreduce the solution blocks, prolong.
 		t1 := r.Time
-		r0 := make([]float64, nv)
+		for i := range r0 {
+			r0[i] = 0
+		}
 		cf := pre.CoarseRestrictElems(r0, in, mine)
 		r.Compute(cf)
 		r.Allreduce(r0, comm.OpSum)
-		bLocal := make([]float64, hi-lo)
 		for newi := lo; newi < hi; newi++ {
 			bLocal[newi-lo] = r0[perm[newi]]
 		}
-		uLocal := xxt.SolveOn(r, bLocal)
-		up := make([]float64, nv)
+		uLocal := xxt.SolveOnW(r, bLocal, xw)
+		for i := range up {
+			up[i] = 0
+		}
 		copy(up[lo:hi], uLocal)
 		r.Allreduce(up, comm.OpSum)
-		x0 := make([]float64, nv)
 		for old := 0; old < nv; old++ {
 			x0[old] = up[invPerm[old]]
 		}
 		cf = pre.CoarseProlongElems(out, x0, mine)
 		r.Compute(cf)
-		tr.SpanV(r.ID, "schwarz/coarse", "precond", t1, r.Time,
-			map[string]any{"nvert": nv})
+		if tr != nil {
+			tr.SpanV(r.ID, "schwarz/coarse", "precond", t1, r.Time,
+				map[string]any{"nvert": nv})
+		}
 		applyMask(out)
 	}
 
