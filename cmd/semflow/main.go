@@ -10,15 +10,23 @@
 // -ranks P the whole time loop instead runs as an SPMD program on the
 // simulated machine (parrun.NavierStokes) and the same artifacts carry the
 // per-rank traffic of every stepper phase.
+//
+// At scale the observability flags compose: -trace-sample R keeps full
+// span tracks for R deterministically chosen ranks while the merged
+// histograms still cover every rank, and -listen addr serves /metrics
+// (Prometheus text), /progress (JSON) and /debug/pprof live during the
+// run (-linger keeps the endpoint up after it finishes).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"time"
 
 	"repro/internal/fault"
 	"repro/internal/flowcases"
@@ -45,6 +53,9 @@ func main() {
 	statsJSON := flag.Bool("stats-json", false, "like -stats, but emit JSON")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON (Perfetto-loadable) to this file")
 	traceRanks := flag.Int("trace-ranks", 8, "simulated ranks for the traced distributed solve")
+	traceSample := flag.Int("trace-sample", 0, "record full virtual span tracks for only this many evenly spaced ranks (0: all); merged histograms still cover every rank, so large -ranks runs stay traceable without -piters")
+	listen := flag.String("listen", "", "serve /metrics (Prometheus text), /progress (JSON) and /debug/pprof live on this host:port during the run (port 0 picks a free port)")
+	linger := flag.Duration("linger", 0, "with -listen: keep the endpoint up this long after the run completes")
 	ranks := flag.Int("ranks", 0, "run the whole time loop distributed over this many simulated ranks (0: serial shared-memory stepper)")
 	faultsPath := flag.String("faults", "", "fault plan JSON degrading the simulated machine: stragglers, link jitter, drops with retry, pauses (requires -ranks)")
 	ckptDir := flag.String("checkpoint", "", "write versioned stepper snapshots into this directory (requires -ranks)")
@@ -54,6 +65,7 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file")
 	flag.Parse()
+	slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr, nil)))
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -73,6 +85,7 @@ func main() {
 			kx: *kx, ky: *ky, piters: *piters,
 			alpha: *alpha, every: *every, stats: *stats, statsJSON: *statsJSON,
 			traceOut: *traceOut, historyOut: *historyOut,
+			traceSample: *traceSample, listen: *listen, linger: *linger,
 			faultsPath: *faultsPath, ckptDir: *ckptDir, ckptEvery: *ckptEvery,
 			resume: *resume,
 		})
@@ -118,14 +131,28 @@ func main() {
 		}
 	}
 	var reg *instrument.Registry
-	if *stats || *statsJSON {
+	if *stats || *statsJSON || *listen != "" {
 		reg = instrument.New()
+		reg.SetMeta(instrument.RunMeta{
+			Case: *caseName, Elements: s.M.K, Order: s.M.N, Steps: *steps,
+			Workers: *workers, TraceSample: *traceSample,
+		})
 		s.AttachMetrics(reg)
 	}
 	var tracer *instrument.Tracer
 	if *traceOut != "" {
 		tracer = instrument.NewTracer()
+		if picked := strideSample(*traceRanks, *traceSample); picked != nil {
+			tracer.SampleVRanks(picked)
+		}
 		s.AttachTracer(tracer)
+	}
+	var prog *instrument.Progress
+	var obs *instrument.Server
+	if *listen != "" {
+		prog = instrument.NewProgress()
+		obs = startServe(*listen, reg, prog)
+		defer obs.Close()
 	}
 	var history *instrument.TimeSeries
 	if *historyOut != "" {
@@ -146,10 +173,14 @@ func main() {
 		}
 		if !st.PressureConverged {
 			nonconverged++
-			fmt.Fprintf(os.Stderr,
-				"warning: step %d pressure solve hit the iteration cap (%d iters, res %.3e > tol)\n",
-				i, st.PressureIters, st.PressureResFinal)
+			slog.Warn("pressure solve hit the iteration cap",
+				"step", i, "iters", st.PressureIters, "res", st.PressureResFinal)
 		}
+		prog.Update(instrument.ProgressSnapshot{
+			Case: *caseName, Step: i, TotalSteps: *steps, Time: s.Time(),
+			CFL: st.CFL, PressureIters: st.PressureIters,
+			PressureRes: st.PressureResFinal, Converged: st.PressureConverged,
+		})
 		if i%*every == 0 {
 			fmt.Printf("%6d %9.4f %6.2f %8d %8d %8d %12.5e\n",
 				i, s.Time(), st.CFL, st.PressureIters, st.HelmholtzIters[0],
@@ -157,8 +188,8 @@ func main() {
 		}
 	}
 	if nonconverged > 0 {
-		fmt.Fprintf(os.Stderr, "warning: %d/%d steps did not converge the pressure solve\n",
-			nonconverged, *steps)
+		slog.Warn("pressure solve did not converge on some steps",
+			"nonconverged", nonconverged, "steps", *steps)
 	}
 	fmt.Printf("\nmetered flops (velocity-grid operators): %.3e\n", float64(d.Flops()))
 
@@ -201,7 +232,7 @@ func main() {
 		}
 		fmt.Printf("wrote %d per-step telemetry records to %s\n", history.Len(), *historyOut)
 	}
-	if reg != nil {
+	if reg != nil && (*stats || *statsJSON) {
 		rep := reg.Report()
 		if *statsJSON {
 			j, err := rep.JSON()
@@ -213,6 +244,7 @@ func main() {
 			fmt.Printf("\n%s", rep.String())
 		}
 	}
+	finishServe(obs, prog, *linger)
 	if *memprofile != "" {
 		f, err := os.Create(*memprofile)
 		if err != nil {
@@ -238,6 +270,9 @@ type distOpts struct {
 	every                int
 	stats, statsJSON     bool
 	traceOut, historyOut string
+	traceSample          int           // full span tracks for this many ranks (0: all)
+	listen               string        // live observability endpoint address ("" off)
+	linger               time.Duration // keep the endpoint up after the run
 	faultsPath, ckptDir  string
 	ckptEvery            int
 	resume               bool
@@ -304,19 +339,48 @@ func runDistributed(o distOpts) {
 		}
 		fmt.Printf("resuming from %s (completed steps: %d)\n", path, ck.Step)
 	}
+	m := cfg.Mesh
 	var reg *instrument.Registry
-	if o.stats || o.statsJSON {
+	if o.stats || o.statsJSON || o.listen != "" {
 		reg = instrument.New()
+		var seed int64
+		if plan != nil {
+			seed = plan.Seed
+		}
+		reg.SetMeta(instrument.RunMeta{
+			Case: o.caseName, Ranks: o.ranks, Elements: m.K, Order: m.N,
+			Steps: o.steps, PIters: o.piters, FaultSeed: seed,
+			TraceSample: o.traceSample,
+		})
 	}
 	var tracer *instrument.Tracer
 	if o.traceOut != "" {
 		tracer = instrument.NewTracer()
+		if picked := strideSample(o.ranks, o.traceSample); picked != nil {
+			tracer.SampleVRanks(picked)
+			slog.Info("trace rank sampling on", "tracks", o.traceSample, "ranks", o.ranks)
+		}
 	}
 	var history *instrument.TimeSeries
 	if o.historyOut != "" {
 		history = instrument.NewTimeSeries()
 	}
-	m := cfg.Mesh
+	var prog *instrument.Progress
+	var obs *instrument.Server
+	var onStep func(st ns.StepStats, vsec float64)
+	if o.listen != "" {
+		prog = instrument.NewProgress()
+		obs = startServe(o.listen, reg, prog)
+		defer obs.Close()
+		onStep = func(st ns.StepStats, vsec float64) {
+			prog.Update(instrument.ProgressSnapshot{
+				Case: o.caseName, Ranks: o.ranks, Step: st.Step, TotalSteps: o.steps,
+				Time: st.Time, VirtualSeconds: vsec, CFL: st.CFL,
+				PressureIters: st.PressureIters, PressureRes: st.PressureResFinal,
+				Converged: st.PressureConverged,
+			})
+		}
+	}
 	fmt.Printf("case=%s  K=%d  N=%d  dofs/component=%d  ranks=%d (distributed)\n",
 		o.caseName, m.K, m.N, m.K*m.Np, o.ranks)
 	res, err := parrun.NavierStokes(cfg, parrun.NSConfig{
@@ -325,13 +389,14 @@ func runDistributed(o distOpts) {
 		CheckpointDir: o.ckptDir, CheckpointEvery: o.ckptEvery,
 		Resume:   ck,
 		Registry: reg, Tracer: tracer, History: history,
+		OnStep: onStep,
 	})
 	if err != nil {
 		log.Fatalf("distributed run: %v", err)
 	}
 	if res.P != res.RequestedP {
-		fmt.Fprintf(os.Stderr, "note: %d ranks requested, clamped to %d (one element minimum per rank)\n",
-			res.RequestedP, res.P)
+		slog.Info("rank count clamped (one element minimum per rank)",
+			"requested", res.RequestedP, "effective", res.P)
 	}
 	fmt.Printf("%6s %9s %6s %8s %8s %8s %12s\n",
 		"step", "t", "CFL", "p-iters", "h-iters", "basis", "p-res")
@@ -344,8 +409,8 @@ func runDistributed(o distOpts) {
 			st.HelmholtzIters[0], st.ProjectionBasis, st.PressureResFinal)
 	}
 	if !res.Converged {
-		fmt.Fprintf(os.Stderr, "warning: %d/%d steps did not converge\n",
-			res.NonconvergedSteps, res.Steps)
+		slog.Warn("some steps did not converge",
+			"nonconverged", res.NonconvergedSteps, "steps", res.Steps)
 	}
 	fmt.Printf("\ndistributed run: P=%d steps=%d virtual=%.3es traffic=%.1fkB/%d msgs cut-edges=%d\n",
 		res.P, res.Steps, res.VirtualSeconds,
@@ -385,7 +450,7 @@ func runDistributed(o distOpts) {
 		}
 		fmt.Printf("wrote %d per-step telemetry records to %s\n", history.Len(), o.historyOut)
 	}
-	if reg != nil {
+	if reg != nil && (o.stats || o.statsJSON) {
 		rep := reg.Report()
 		if o.statsJSON {
 			j, err := rep.JSON()
@@ -396,5 +461,46 @@ func runDistributed(o distOpts) {
 		} else {
 			fmt.Printf("\n%s", rep.String())
 		}
+	}
+	finishServe(obs, prog, o.linger)
+}
+
+// strideSample picks r evenly spaced ranks out of p — the deterministic
+// choice behind -trace-sample, so reruns record the same tracks. nil means
+// "trace everything" (r = 0 or r covers all of p).
+func strideSample(p, r int) []int {
+	if r <= 0 || r >= p {
+		return nil
+	}
+	out := make([]int, r)
+	for i := range out {
+		out[i] = i * p / r
+	}
+	return out
+}
+
+// startServe binds the live observability endpoint and prints the resolved
+// address (port 0 requests pick a free port) so scrapers can find it.
+func startServe(addr string, reg *instrument.Registry, prog *instrument.Progress) *instrument.Server {
+	srv, err := instrument.Serve(addr, reg, prog)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	fmt.Printf("observability: listening on http://%s (/metrics /progress /debug/pprof)\n", srv.Addr)
+	return srv
+}
+
+// finishServe marks the run done on /progress and keeps the endpoint up for
+// the linger window so post-run scrapes see the final state.
+func finishServe(obs *instrument.Server, prog *instrument.Progress, linger time.Duration) {
+	if obs == nil {
+		return
+	}
+	snap := prog.Snapshot()
+	snap.Done = true
+	prog.Update(snap)
+	if linger > 0 {
+		slog.Info("run complete, endpoint lingering", "addr", obs.Addr, "for", linger.String())
+		time.Sleep(linger)
 	}
 }

@@ -2,8 +2,12 @@
 // and -history flags: the Chrome trace must be structurally sound (required
 // fields, balanced spans, monotone per-track timestamps, matched flow ids,
 // enough rank tracks) and every telemetry line must parse with the
-// per-step keys the analysis scripts rely on. It is the CI gate of
-// scripts/ci.sh's smoke stage; exit status 1 means a malformed artifact.
+// per-step keys the analysis scripts rely on. With -flows-closed it further
+// requires every flow arrow to have both endpoints (the invariant rank
+// sampling preserves by construction); with -metrics-url/-progress-url it
+// scrapes a live semflow -listen endpoint and validates the exposition.
+// It is the CI gate of scripts/ci.sh's smoke stage; exit status 1 means a
+// malformed artifact.
 package main
 
 import (
@@ -11,7 +15,11 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
+	"strings"
+	"time"
 
 	"repro/internal/instrument"
 )
@@ -20,10 +28,13 @@ func main() {
 	tracePath := flag.String("trace", "", "Chrome trace-event JSON to validate")
 	minRanks := flag.Int("min-ranks", 0, "minimum distinct rank tracks required under the machine pid")
 	minFault := flag.Int("min-fault-events", 0, "minimum \"fault\"-category events (straggler/retry/pause spans) the trace must carry")
+	flowsClosed := flag.Bool("flows-closed", false, "require every flow arrow to have both its s and f endpoints (holds for full and rank-sampled traces)")
 	historyPath := flag.String("history", "", "per-step telemetry JSONL to validate")
+	metricsURL := flag.String("metrics-url", "", "scrape this /metrics URL and validate the Prometheus text exposition")
+	progressURL := flag.String("progress-url", "", "scrape this /progress URL and validate the JSON snapshot")
 	flag.Parse()
-	if *tracePath == "" && *historyPath == "" {
-		fmt.Fprintln(os.Stderr, "usage: tracecheck [-trace file.json -min-ranks N -min-fault-events N] [-history file.jsonl]")
+	if *tracePath == "" && *historyPath == "" && *metricsURL == "" && *progressURL == "" {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-trace file.json -min-ranks N -min-fault-events N -flows-closed] [-history file.jsonl] [-metrics-url URL] [-progress-url URL]")
 		os.Exit(2)
 	}
 	ok := true
@@ -31,6 +42,9 @@ func main() {
 		data, err := os.ReadFile(*tracePath)
 		if err == nil {
 			err = instrument.ValidateChromeTrace(data, *minRanks)
+		}
+		if err == nil && *flowsClosed {
+			err = instrument.ValidateFlowClosure(data)
 		}
 		nfault := 0
 		if err == nil && *minFault > 0 {
@@ -55,9 +69,91 @@ func main() {
 			ok = false
 		}
 	}
+	if *metricsURL != "" {
+		if err := checkMetrics(*metricsURL); err != nil {
+			fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", *metricsURL, err)
+			ok = false
+		}
+	}
+	if *progressURL != "" {
+		if err := checkProgress(*progressURL); err != nil {
+			fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", *progressURL, err)
+			ok = false
+		}
+	}
 	if !ok {
 		os.Exit(1)
 	}
+}
+
+// scrape fetches a URL with a short timeout.
+func scrape(url string) ([]byte, string, error) {
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, "", fmt.Errorf("status %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	return body, resp.Header.Get("Content-Type"), err
+}
+
+// checkMetrics validates a live /metrics scrape: Prometheus text exposition
+// content type, and every non-comment line of the form `name{labels} value`
+// with at least one semflow_ family present.
+func checkMetrics(url string) error {
+	body, ctype, err := scrape(url)
+	if err != nil {
+		return err
+	}
+	if !strings.HasPrefix(ctype, "text/plain") {
+		return fmt.Errorf("content type %q, want text/plain exposition", ctype)
+	}
+	families, lines := 0, 0
+	for _, line := range strings.Split(string(body), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		lines++
+		sp := strings.LastIndexByte(line, ' ')
+		if sp <= 0 {
+			return fmt.Errorf("malformed exposition line %q", line)
+		}
+		if strings.HasPrefix(line, "semflow_") {
+			families++
+		}
+	}
+	if lines == 0 || families == 0 {
+		return fmt.Errorf("no semflow_ samples in %d exposition lines", lines)
+	}
+	fmt.Printf("%s: %d samples (%d semflow_ family lines)\n", url, lines, families)
+	return nil
+}
+
+// checkProgress validates a live /progress scrape: a JSON object carrying
+// the step counter.
+func checkProgress(url string) error {
+	body, ctype, err := scrape(url)
+	if err != nil {
+		return err
+	}
+	if !strings.HasPrefix(ctype, "application/json") {
+		return fmt.Errorf("content type %q, want application/json", ctype)
+	}
+	var snap map[string]any
+	if err := json.Unmarshal(body, &snap); err != nil {
+		return fmt.Errorf("not JSON: %w", err)
+	}
+	for _, key := range []string{"step", "time", "virtual_seconds"} {
+		if _, okKey := snap[key]; !okKey {
+			return fmt.Errorf("missing key %q", key)
+		}
+	}
+	fmt.Printf("%s: live progress snapshot at step %v\n", url, snap["step"])
+	return nil
 }
 
 // checkHistory verifies every JSONL line parses and carries the per-step

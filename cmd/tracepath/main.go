@@ -1,0 +1,118 @@
+// Command tracepath walks the virtual-clock critical path of a trace
+// recorded by semflow -trace: the chain of local work and gating message
+// waits that determines the modeled completion time. It attributes the
+// path to category (allreduce, gs, send, coarse, schwarz, fault, compute)
+// and stepper phase per step and per rank, turning a multi-gigabyte
+// P=1024 span soup into the one question the scaling study asks — what is
+// the slow chain made of?
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/instrument"
+)
+
+func main() {
+	tracePath := flag.String("trace", "", "Chrome trace-event JSON to analyze")
+	jsonOut := flag.Bool("json", false, "emit the full analysis as JSON instead of text")
+	segments := flag.Bool("segments", false, "include the raw path segments in -json output")
+	top := flag.Int("top", 8, "ranks to list in the per-rank table")
+	flag.Parse()
+	if *tracePath == "" && flag.NArg() == 1 {
+		*tracePath = flag.Arg(0)
+	}
+	if *tracePath == "" {
+		fmt.Fprintln(os.Stderr, "usage: tracepath [-json] [-segments] [-top N] -trace file.json")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(*tracePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracepath: %v\n", err)
+		os.Exit(1)
+	}
+	cp, err := instrument.AnalyzeCriticalPath(data)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracepath: %s: %v\n", *tracePath, err)
+		os.Exit(1)
+	}
+	if *jsonOut {
+		if !*segments {
+			cp.Segments = nil
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(cp); err != nil {
+			fmt.Fprintf(os.Stderr, "tracepath: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	report(cp, *top)
+}
+
+// report prints the text breakdown.
+func report(cp *instrument.CritPath, top int) {
+	fmt.Printf("critical path: %.6g s modeled, %d rank tracks, %d gating receives, ends on rank %d\n\n",
+		cp.TotalSeconds, cp.Ranks, cp.Hops, cp.EndRank)
+
+	fmt.Println("by category:")
+	printShares(cp.ByCategory, cp.TotalSeconds)
+	fmt.Println("\nby phase:")
+	printShares(cp.ByPhase, cp.TotalSeconds)
+
+	if len(cp.Steps) > 0 {
+		fmt.Println("\nper step:")
+		fmt.Printf("  %6s %12s  %s\n", "step", "seconds", "dominant")
+		for _, st := range cp.Steps {
+			cat, catT := maxEntry(st.ByCategory)
+			ph, _ := maxEntry(st.ByPhase)
+			fmt.Printf("  %6d %12.6g  %s %.0f%% (phase %s)\n",
+				st.Step, st.Seconds, cat, 100*catT/st.Seconds, ph)
+		}
+	}
+
+	n := top
+	if n > len(cp.PerRank) {
+		n = len(cp.PerRank)
+	}
+	if n > 0 {
+		fmt.Printf("\ntop %d ranks by on-path time:\n", n)
+		fmt.Printf("  %6s %12s %8s %12s\n", "rank", "on-path", "share", "slack")
+		for _, pr := range cp.PerRank[:n] {
+			fmt.Printf("  %6d %12.6g %7.1f%% %12.6g\n",
+				pr.Rank, pr.OnPath, 100*pr.OnPath/cp.TotalSeconds, pr.Slack)
+		}
+	}
+}
+
+// printShares prints a map as a table sorted by descending share.
+func printShares(m map[string]float64, total float64) {
+	type kv struct {
+		k string
+		v float64
+	}
+	rows := make([]kv, 0, len(m))
+	for k, v := range m {
+		rows = append(rows, kv{k, v})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].v > rows[j].v })
+	for _, r := range rows {
+		fmt.Printf("  %-16s %12.6g s %7.1f%%\n", r.k, r.v, 100*r.v/total)
+	}
+}
+
+// maxEntry returns the largest entry of a share map.
+func maxEntry(m map[string]float64) (string, float64) {
+	best, bestV := "-", 0.0
+	for k, v := range m {
+		if v > bestV {
+			best, bestV = k, v
+		}
+	}
+	return best, bestV
+}

@@ -232,7 +232,7 @@ func (s *XXT) SolveOnW(r *comm.Rank, bLocal []float64, w *SolveWork) []float64 {
 	t0 := s.solveTime.Begin()
 	defer s.solveTime.End(t0)
 	v0 := r.Time
-	if s.tracer != nil {
+	if s.tracer.WantsV(r.ID) {
 		defer func() {
 			s.tracer.SpanV(r.ID, "coarse/xxt.solve", "coarse", v0, r.Time,
 				map[string]any{"cross_cols": len(s.CrossCols), "n": s.N})

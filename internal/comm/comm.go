@@ -92,7 +92,8 @@ type collectiveInstr struct {
 	calls *instrument.Counter
 	msgs  *instrument.Counter
 	bytes *instrument.Counter
-	vtime *instrument.Timer // accumulated per-rank virtual time
+	vtime *instrument.Timer     // accumulated per-rank virtual time
+	vhist *instrument.Histogram // per-call virtual time, all ranks merged
 }
 
 func (c *collectiveInstr) record(dt float64, msgs, bytes int64) {
@@ -100,6 +101,7 @@ func (c *collectiveInstr) record(dt float64, msgs, bytes int64) {
 	c.msgs.Add(msgs)
 	c.bytes.Add(bytes)
 	c.vtime.Add(time.Duration(dt * float64(time.Second)))
+	c.vhist.Observe(dt)
 }
 
 // netInstr holds the network's metric handles (nil Network.instr = off).
@@ -111,11 +113,23 @@ type netInstr struct {
 	gather    collectiveInstr
 	barrier   collectiveInstr
 
+	// Distribution rollups: per-message virtual latency and per-event fault
+	// stall draws. Histograms observe lock-free, so every rank records every
+	// message even at paper-scale P.
+	sendVLat  *instrument.Histogram
+	faultHist *instrument.Histogram
+
 	// Fault-injection bookkeeping (all zero without a plan).
 	faultDrops   *instrument.Counter
 	faultRetries *instrument.Counter
 	faultPauses  *instrument.Counter
 	faultStall   *instrument.Timer // virtual time lost to faults
+}
+
+// stall records one fault-induced stall of dt virtual seconds.
+func (in *netInstr) stall(dt float64) {
+	in.faultStall.Add(time.Duration(dt * float64(time.Second)))
+	in.faultHist.Observe(dt)
 }
 
 // Network is an instantiated machine: use Run to execute an SPMD function.
@@ -150,11 +164,14 @@ func (n *Network) Attach(reg *instrument.Registry) {
 			msgs:  reg.Counter("comm/" + name + ".msgs"),
 			bytes: reg.Counter("comm/" + name + ".bytes"),
 			vtime: reg.Timer("comm/" + name + ".vtime"),
+			vhist: reg.Histogram("comm/" + name + ".vtime.hist"),
 		}
 	}
 	n.instr = &netInstr{
 		sendMsgs:     reg.Counter("comm/send.msgs"),
 		sendBytes:    reg.Counter("comm/send.bytes"),
+		sendVLat:     reg.Histogram("comm/send.vlat"),
+		faultHist:    reg.Histogram("comm/fault.stall.draws"),
 		allreduce:    col("allreduce"),
 		bcast:        col("bcast"),
 		gather:       col("gather"),
@@ -352,9 +369,9 @@ func (r *Rank) maybePause() {
 	r.StallSec += end - t0
 	if in := r.net.instr; in != nil {
 		in.faultPauses.Inc()
-		in.faultStall.Add(time.Duration((end - t0) * float64(time.Second)))
+		in.stall(end - t0)
 	}
-	if tr := r.net.tracer; tr != nil {
+	if tr := r.net.tracer; tr.WantsV(r.ID) {
 		tr.SpanV(r.ID, "fault/pause", "fault", t0, end, nil)
 	}
 }
@@ -402,7 +419,7 @@ func (r *Rank) Send(to, tag int, data []float64) {
 		if extra > 0 {
 			r.StallSec += extra
 			if in := r.net.instr; in != nil {
-				in.faultStall.Add(time.Duration(extra * float64(time.Second)))
+				in.stall(extra)
 			}
 		}
 		for attempt := 0; pl.DropAttempt(r.ID, to, r.sendSeq, attempt); attempt++ {
@@ -422,9 +439,9 @@ func (r *Rank) Send(to, tag int, data []float64) {
 				in.sendBytes.Add(int64(bytes))
 				in.faultDrops.Inc()
 				in.faultRetries.Inc()
-				in.faultStall.Add(time.Duration((base + pl.RetryTimeout) * float64(time.Second)))
+				in.stall(base + pl.RetryTimeout)
 			}
-			if tr := r.net.tracer; tr != nil {
+			if tr := r.net.tracer; tr.WantsV(r.ID) {
 				tr.SpanV(r.ID, "fault/retry", "fault", ta, r.Time,
 					map[string]any{"to": to, "tag": tag, "attempt": attempt + 1, "bytes": bytes})
 			}
@@ -437,14 +454,21 @@ func (r *Rank) Send(to, tag int, data []float64) {
 	if in := r.net.instr; in != nil {
 		in.sendMsgs.Inc()
 		in.sendBytes.Add(int64(bytes))
+		in.sendVLat.Observe(base + extra)
 	}
+	// A flow arrow needs both of its endpoints: under rank sampling the id
+	// is generated only when sender and receiver tracks are both recorded,
+	// so sampled traces keep every "s" matched by an "f" (tracecheck
+	// -flows-closed relies on this).
 	var flow string
-	if tr := r.net.tracer; tr != nil {
-		r.flowSeq++
-		flow = fmt.Sprintf("%d.%d", r.ID, r.flowSeq)
+	if tr := r.net.tracer; tr.WantsV(r.ID) {
 		tr.SpanV(r.ID, "send", "comm", t0, r.Time,
 			map[string]any{"to": to, "tag": tag, "bytes": bytes})
-		tr.FlowV("s", r.ID, "msg", r.Time, flow)
+		if tr.WantsV(to) {
+			r.flowSeq++
+			flow = fmt.Sprintf("%d.%d", r.ID, r.flowSeq)
+			tr.FlowV("s", r.ID, "msg", r.Time, flow)
+		}
 	}
 	// The payload copy keeps Send/Recv value semantics (the caller may
 	// overwrite data immediately); the buffer comes from the sender's pool so
@@ -540,8 +564,10 @@ func (r *Rank) deliver(m message) []float64 {
 		r.Time = m.arrival
 	}
 	r.maybePause()
-	if tr := r.net.tracer; tr != nil && m.flow != "" {
-		tr.FlowV("f", r.ID, "msg", r.Time, m.flow)
+	if tr := r.net.tracer; tr.WantsV(r.ID) {
+		if m.flow != "" {
+			tr.FlowV("f", r.ID, "msg", r.Time, m.flow)
+		}
 		tr.InstantV(r.ID, "recv", "comm", r.Time,
 			map[string]any{"from": m.from, "tag": m.tag, "bytes": 8 * len(m.data)})
 	}
@@ -563,9 +589,9 @@ func (r *Rank) Compute(nflops int64) {
 			extra := dt*f - dt
 			r.StallSec += extra
 			if in := r.net.instr; in != nil {
-				in.faultStall.Add(time.Duration(extra * float64(time.Second)))
+				in.stall(extra)
 			}
-			if tr := r.net.tracer; tr != nil && extra > 0 {
+			if tr := r.net.tracer; extra > 0 && tr.WantsV(r.ID) {
 				tr.SpanV(r.ID, "fault/straggler", "fault", t0+dt, r.Time,
 					map[string]any{"factor": f})
 			}
@@ -631,7 +657,7 @@ func (r *Rank) Allreduce(data []float64, op ReduceOp) {
 	if in != nil {
 		in.allreduce.record(r.Time-t0, r.MsgsSent-m0, r.BytesSent-b0)
 	}
-	if tr != nil {
+	if tr.WantsV(r.ID) {
 		tr.SpanV(r.ID, "allreduce", "comm", t0, r.Time,
 			map[string]any{"words": len(data), "msgs": r.MsgsSent - m0, "bytes": r.BytesSent - b0})
 	}
@@ -714,7 +740,7 @@ func (r *Rank) Bcast(data []float64, root int) {
 	if in != nil {
 		in.bcast.record(r.Time-t0, r.MsgsSent-m0, r.BytesSent-b0)
 	}
-	if tr != nil {
+	if tr.WantsV(r.ID) {
 		tr.SpanV(r.ID, "bcast", "comm", t0, r.Time,
 			map[string]any{"words": len(data), "root": root, "msgs": r.MsgsSent - m0, "bytes": r.BytesSent - b0})
 	}
@@ -749,7 +775,7 @@ func (r *Rank) Barrier() {
 	if in != nil {
 		in.barrier.record(r.Time-t0, r.MsgsSent-m0, r.BytesSent-b0)
 	}
-	if tr != nil {
+	if tr.WantsV(r.ID) {
 		tr.SpanV(r.ID, "barrier", "comm", t0, r.Time,
 			map[string]any{"msgs": r.MsgsSent - m0, "bytes": r.BytesSent - b0})
 	}
@@ -777,7 +803,7 @@ func (r *Rank) Gather(data []float64, root int) []float64 {
 	if in != nil {
 		in.gather.record(r.Time-t0, r.MsgsSent-m0, r.BytesSent-b0)
 	}
-	if tr != nil {
+	if tr.WantsV(r.ID) {
 		tr.SpanV(r.ID, "gather", "comm", t0, r.Time,
 			map[string]any{"words": len(data), "root": root, "msgs": r.MsgsSent - m0, "bytes": r.BytesSent - b0})
 	}

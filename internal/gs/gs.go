@@ -180,6 +180,7 @@ type ParHandle struct {
 	exchMsgs  *instrument.Counter
 	exchWords *instrument.Counter
 	exchVTime *instrument.Timer
+	exchVHist *instrument.Histogram // per-Apply virtual time, all ranks merged
 	tracer    *instrument.Tracer
 }
 
@@ -345,6 +346,7 @@ func (h *ParHandle) Attach(reg *instrument.Registry) {
 	h.exchMsgs = reg.Counter("gs/exchange.msgs")
 	h.exchWords = reg.Counter("gs/exchange.words")
 	h.exchVTime = reg.Timer("gs/exchange.vtime")
+	h.exchVHist = reg.Histogram("gs/exchange.vtime.hist")
 }
 
 // AttachTracer makes every Apply emit a virtual-clock span on the owning
@@ -398,11 +400,12 @@ func (h *ParHandle) Apply(u []float64, op Op) {
 			u[h.slotLoc[t]] = v
 		}
 	}
-	if h.tracer != nil {
+	if h.tracer.WantsV(h.rank.ID) {
 		h.tracer.SpanV(h.rank.ID, "gs/exchange", "gs", t0, h.rank.Time,
 			map[string]any{"neighbours": len(h.neighbours), "words": words})
 	}
 	h.exchVTime.Add(time.Duration((h.rank.Time - t0) * float64(time.Second)))
+	h.exchVHist.Observe(h.rank.Time - t0)
 }
 
 // Local returns the serial handle for rank-local operations.

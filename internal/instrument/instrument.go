@@ -155,22 +155,51 @@ func (g *Gauge) Mean() float64 {
 	return g.sum / float64(g.n)
 }
 
+// RunMeta identifies the run a report came from: the case and machine
+// configuration that make a stats artifact self-describing and diffable
+// across runs. Attach it with Registry.SetMeta; it is serialized ahead of
+// the metric sections.
+type RunMeta struct {
+	Case        string `json:"case,omitempty"`
+	Ranks       int    `json:"ranks,omitempty"`
+	Elements    int    `json:"elements,omitempty"`
+	Order       int    `json:"order,omitempty"`
+	Steps       int    `json:"steps,omitempty"`
+	PIters      int    `json:"piters,omitempty"`
+	Workers     int    `json:"workers,omitempty"`
+	FaultSeed   int64  `json:"fault_seed,omitempty"`
+	TraceSample int    `json:"trace_sample,omitempty"`
+}
+
 // Registry is a collection of named metrics. The nil *Registry is the
 // disabled default: its lookup methods return nil handles, which no-op.
 type Registry struct {
-	mu       sync.Mutex
-	timers   map[string]*Timer
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
+	mu         sync.Mutex
+	timers     map[string]*Timer
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+	meta       *RunMeta
 }
 
 // New returns an enabled, empty registry.
 func New() *Registry {
 	return &Registry{
-		timers:   make(map[string]*Timer),
-		counters: make(map[string]*Counter),
-		gauges:   make(map[string]*Gauge),
+		timers:     make(map[string]*Timer),
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
 	}
+}
+
+// SetMeta attaches run metadata to the registry (no-op on nil).
+func (r *Registry) SetMeta(m RunMeta) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.meta = &m
+	r.mu.Unlock()
 }
 
 // Timer returns (creating if needed) the named timer; nil on a nil registry.
@@ -219,6 +248,22 @@ func (r *Registry) Gauge(name string) *Gauge {
 	return g
 }
 
+// Histogram returns (creating if needed) the named histogram; nil on a nil
+// registry.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = newHistogram(name)
+		r.histograms[name] = h
+	}
+	return h
+}
+
 // TimerStat is one timer's snapshot.
 type TimerStat struct {
 	Name    string  `json:"name"`
@@ -243,9 +288,11 @@ type GaugeStat struct {
 
 // Report is a structured snapshot of a registry, sorted by name.
 type Report struct {
-	Timers   []TimerStat   `json:"timers"`
-	Counters []CounterStat `json:"counters"`
-	Gauges   []GaugeStat   `json:"gauges"`
+	Meta       *RunMeta        `json:"meta,omitempty"`
+	Timers     []TimerStat     `json:"timers"`
+	Counters   []CounterStat   `json:"counters"`
+	Gauges     []GaugeStat     `json:"gauges"`
+	Histograms []HistogramStat `json:"histograms,omitempty"`
 }
 
 // Report snapshots the registry. A nil registry yields an empty report.
@@ -264,6 +311,13 @@ func (r *Registry) Report() Report {
 	for name, c := range r.counters {
 		rep.Counters = append(rep.Counters, CounterStat{Name: name, Value: c.Value()})
 	}
+	if r.meta != nil {
+		m := *r.meta
+		rep.Meta = &m
+	}
+	for _, h := range r.histograms {
+		rep.Histograms = append(rep.Histograms, h.snapshot())
+	}
 	for name, g := range r.gauges {
 		g.mu.Lock()
 		rep.Gauges = append(rep.Gauges, GaugeStat{
@@ -280,6 +334,7 @@ func (r *Registry) Report() Report {
 	sort.Slice(rep.Timers, func(i, j int) bool { return rep.Timers[i].Name < rep.Timers[j].Name })
 	sort.Slice(rep.Counters, func(i, j int) bool { return rep.Counters[i].Name < rep.Counters[j].Name })
 	sort.Slice(rep.Gauges, func(i, j int) bool { return rep.Gauges[i].Name < rep.Gauges[j].Name })
+	sort.Slice(rep.Histograms, func(i, j int) bool { return rep.Histograms[i].Name < rep.Histograms[j].Name })
 	return rep
 }
 
@@ -289,6 +344,23 @@ func (r *Registry) Report() Report {
 // time).
 func (rep Report) String() string {
 	var b strings.Builder
+	if m := rep.Meta; m != nil {
+		fmt.Fprintf(&b, "run: case=%s ranks=%d elements=%d order=%d steps=%d",
+			m.Case, m.Ranks, m.Elements, m.Order, m.Steps)
+		if m.PIters > 0 {
+			fmt.Fprintf(&b, " piters=%d", m.PIters)
+		}
+		if m.Workers > 0 {
+			fmt.Fprintf(&b, " workers=%d", m.Workers)
+		}
+		if m.FaultSeed != 0 {
+			fmt.Fprintf(&b, " fault_seed=%d", m.FaultSeed)
+		}
+		if m.TraceSample > 0 {
+			fmt.Fprintf(&b, " trace_sample=%d", m.TraceSample)
+		}
+		b.WriteString("\n\n")
+	}
 	if len(rep.Timers) > 0 {
 		var total float64
 		for _, t := range rep.Timers {
@@ -319,6 +391,17 @@ func (rep Report) String() string {
 		fmt.Fprintf(&b, "%-34s %10s %10s %10s %10s\n", "gauge", "last", "min", "max", "mean")
 		for _, g := range rep.Gauges {
 			fmt.Fprintf(&b, "%-34s %10.4g %10.4g %10.4g %10.4g\n", g.Name, g.Last, g.Min, g.Max, g.Mean)
+		}
+	}
+	if len(rep.Histograms) > 0 {
+		if b.Len() > 0 {
+			b.WriteByte('\n')
+		}
+		fmt.Fprintf(&b, "%-34s %10s %10s %10s %10s %10s %10s\n",
+			"histogram", "count", "min", "p50", "p90", "p99", "max")
+		for _, h := range rep.Histograms {
+			fmt.Fprintf(&b, "%-34s %10d %10.4g %10.4g %10.4g %10.4g %10.4g\n",
+				h.Name, h.Count, h.Min, h.P50, h.P90, h.P99, h.Max)
 		}
 	}
 	return b.String()

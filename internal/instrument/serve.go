@@ -1,0 +1,205 @@
+package instrument
+
+// serve.go is the live side of the observability layer: where Report is a
+// post-run artifact, Serve exposes the same registry over HTTP while the
+// run is still going — /metrics in Prometheus text exposition (histograms
+// as quantile summaries), /progress as a JSON snapshot of the stepper's
+// position (current step, residuals, virtual time), and /debug/pprof for
+// the real process underneath the simulated machine. This is the endpoint
+// the ROADMAP's semflowd scheduler will scrape; until then it lets a
+// multi-minute P=1024 run be watched instead of waited on.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// Progress is a mutex-guarded snapshot of a run's position, updated by the
+// driver after every step and served as JSON at /progress. The nil
+// *Progress no-ops, matching the package contract.
+type Progress struct {
+	mu   sync.Mutex
+	snap ProgressSnapshot
+}
+
+// ProgressSnapshot is the /progress payload.
+type ProgressSnapshot struct {
+	Case           string  `json:"case,omitempty"`
+	Ranks          int     `json:"ranks,omitempty"`
+	Step           int     `json:"step"`
+	TotalSteps     int     `json:"total_steps,omitempty"`
+	Time           float64 `json:"time"`            // simulation time
+	VirtualSeconds float64 `json:"virtual_seconds"` // max rank virtual clock
+	CFL            float64 `json:"cfl,omitempty"`
+	PressureIters  int     `json:"pressure_iters"`
+	PressureRes    float64 `json:"pressure_res"`
+	Converged      bool    `json:"converged"`
+	Done           bool    `json:"done"`
+	UpdatedUnixMs  int64   `json:"updated_unix_ms"`
+}
+
+// NewProgress returns an enabled progress tracker.
+func NewProgress() *Progress { return &Progress{} }
+
+// Update replaces the snapshot (stamping the update time).
+func (p *Progress) Update(s ProgressSnapshot) {
+	if p == nil {
+		return
+	}
+	s.UpdatedUnixMs = time.Now().UnixMilli()
+	p.mu.Lock()
+	p.snap = s
+	p.mu.Unlock()
+}
+
+// Snapshot returns the current snapshot.
+func (p *Progress) Snapshot() ProgressSnapshot {
+	if p == nil {
+		return ProgressSnapshot{}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.snap
+}
+
+// WritePrometheus renders a Report in the Prometheus text exposition
+// format (version 0.0.4). Registry names become a "name" label on a small
+// set of metric families, so arbitrary slash-and-dot metric names survive
+// the Prometheus data model; histograms are exposed as summaries with
+// p50/p90/p99 quantiles plus _sum and _count.
+func WritePrometheus(w io.Writer, rep Report) error {
+	write := func(format string, args ...any) error {
+		_, err := fmt.Fprintf(w, format, args...)
+		return err
+	}
+	if len(rep.Timers) > 0 {
+		if err := write("# HELP semflow_timer_seconds Accumulated time per named timer.\n# TYPE semflow_timer_seconds counter\n"); err != nil {
+			return err
+		}
+		for _, t := range rep.Timers {
+			if err := write("semflow_timer_seconds{name=%q} %g\nsemflow_timer_count{name=%q} %d\n",
+				t.Name, t.Seconds, t.Name, t.Count); err != nil {
+				return err
+			}
+		}
+	}
+	if len(rep.Counters) > 0 {
+		if err := write("# HELP semflow_counter Monotonic event counters.\n# TYPE semflow_counter counter\n"); err != nil {
+			return err
+		}
+		for _, c := range rep.Counters {
+			if err := write("semflow_counter{name=%q} %d\n", c.Name, c.Value); err != nil {
+				return err
+			}
+		}
+	}
+	if len(rep.Gauges) > 0 {
+		if err := write("# HELP semflow_gauge Last sampled value per named gauge.\n# TYPE semflow_gauge gauge\n"); err != nil {
+			return err
+		}
+		for _, g := range rep.Gauges {
+			if err := write("semflow_gauge{name=%q} %g\nsemflow_gauge_mean{name=%q} %g\n",
+				g.Name, g.Last, g.Name, g.Mean); err != nil {
+				return err
+			}
+		}
+	}
+	if len(rep.Histograms) > 0 {
+		if err := write("# HELP semflow_histogram Distribution summaries (log-bucketed estimates).\n# TYPE semflow_histogram summary\n"); err != nil {
+			return err
+		}
+		for _, h := range rep.Histograms {
+			n := h.Name
+			for _, q := range []struct {
+				q string
+				v float64
+			}{{"0.5", h.P50}, {"0.9", h.P90}, {"0.99", h.P99}} {
+				if err := write("semflow_histogram{name=%q,quantile=%q} %g\n", n, q.q, q.v); err != nil {
+					return err
+				}
+			}
+			if err := write("semflow_histogram_sum{name=%q} %g\nsemflow_histogram_count{name=%q} %d\n",
+				n, h.Sum, n, h.Count); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Server is a live observability endpoint bound to a registry and an
+// optional progress tracker.
+type Server struct {
+	Addr string // actual bound address (resolves ":0" requests)
+	ln   net.Listener
+	srv  *http.Server
+}
+
+// Serve starts an HTTP server on addr (host:port; port 0 picks a free
+// port) exposing /metrics, /progress, and /debug/pprof/*. It returns once
+// the listener is bound; requests are served on a background goroutine
+// until Close. The registry and progress may be updated concurrently —
+// handlers snapshot under the package's usual locks.
+func Serve(addr string, reg *Registry, prog *Progress) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("instrument: listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := WritePrometheus(w, reg.Report()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/progress", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		data, err := json.MarshalIndent(prog.Snapshot(), "", "  ")
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Write(data)
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		data, err := reg.Report().JSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Write(data)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprintf(w, "semflow observability endpoint\n\n")
+		for _, p := range []string{"/metrics", "/progress", "/stats", "/debug/pprof/"} {
+			fmt.Fprintf(w, "  %s\n", p)
+		}
+	})
+	s := &Server{Addr: ln.Addr().String(), ln: ln, srv: &http.Server{Handler: mux}}
+	go s.srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
+	return s, nil
+}
+
+// Close shuts the server down immediately.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

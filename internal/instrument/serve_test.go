@@ -1,0 +1,131 @@
+package instrument
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// get fetches a URL from the test server and returns body + content type.
+func get(t *testing.T, url string) (string, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body), resp.Header.Get("Content-Type")
+}
+
+// The endpoint must stay scrapeable while a run records into the registry
+// and progress concurrently — this test is the -race gate for the server.
+func TestServeLiveScrapeUnderLoad(t *testing.T) {
+	reg := New()
+	reg.SetMeta(RunMeta{Case: "channel", Ranks: 4, Steps: 8})
+	prog := NewProgress()
+	srv, err := Serve("127.0.0.1:0", reg, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // the "run": hammer the registry while scrapes happen
+		defer wg.Done()
+		h := reg.Histogram("comm/send.vlat")
+		tm := reg.Timer("ns/step")
+		c := reg.Counter("comm/send.msgs")
+		step := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			h.Observe(2.5e-5)
+			tm.Add(1000)
+			c.Inc()
+			step++
+			prog.Update(ProgressSnapshot{Step: step, PressureIters: 40, Converged: true})
+		}
+	}()
+
+	base := "http://" + srv.Addr
+	for i := 0; i < 20; i++ {
+		body, ctype := get(t, base+"/metrics")
+		if !strings.HasPrefix(ctype, "text/plain") {
+			t.Fatalf("/metrics content type %q", ctype)
+		}
+		if !strings.Contains(body, `semflow_counter{name="comm/send.msgs"}`) ||
+			!strings.Contains(body, `semflow_histogram{name="comm/send.vlat",quantile="0.5"}`) {
+			t.Fatalf("/metrics missing expected families:\n%s", body)
+		}
+		pbody, pctype := get(t, base+"/progress")
+		if !strings.HasPrefix(pctype, "application/json") {
+			t.Fatalf("/progress content type %q", pctype)
+		}
+		var snap ProgressSnapshot
+		if err := json.Unmarshal([]byte(pbody), &snap); err != nil {
+			t.Fatalf("/progress not JSON: %v\n%s", err, pbody)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// /stats serves the full JSON report including the meta header.
+	sbody, _ := get(t, base+"/stats")
+	var rep Report
+	if err := json.Unmarshal([]byte(sbody), &rep); err != nil {
+		t.Fatalf("/stats not a Report: %v", err)
+	}
+	if rep.Meta == nil || rep.Meta.Case != "channel" {
+		t.Fatalf("/stats missing run meta: %+v", rep.Meta)
+	}
+	if len(rep.Histograms) == 0 {
+		t.Fatal("/stats missing histograms")
+	}
+
+	// pprof index answers.
+	if body, _ := get(t, base+"/debug/pprof/"); !strings.Contains(body, "goroutine") {
+		t.Fatal("/debug/pprof/ index missing profiles")
+	}
+	// The root page lists the routes.
+	if body, _ := get(t, base+"/"); !strings.Contains(body, "/metrics") {
+		t.Fatal("root index missing route list")
+	}
+}
+
+func TestWritePrometheusEscapesLabels(t *testing.T) {
+	rep := Report{
+		Counters: []CounterStat{{Name: `weird"name\x`, Value: 3}},
+	}
+	var b strings.Builder
+	if err := WritePrometheus(&b, rep); err != nil {
+		t.Fatal(err)
+	}
+	want := fmt.Sprintf("semflow_counter{name=%q} 3\n", `weird"name\x`)
+	if !strings.Contains(b.String(), want) {
+		t.Fatalf("escaping wrong:\n%s", b.String())
+	}
+}
+
+func TestNilProgressNoOps(t *testing.T) {
+	var p *Progress
+	p.Update(ProgressSnapshot{Step: 1})
+	if s := p.Snapshot(); s.Step != 0 {
+		t.Fatal("nil progress returned data")
+	}
+}

@@ -52,11 +52,12 @@ type TraceEvent struct {
 // Tracer collects trace events. The nil *Tracer is the disabled default:
 // every method returns immediately.
 type Tracer struct {
-	mu     sync.Mutex
-	events []TraceEvent
-	names  []TraceEvent // metadata (process/thread name) events
-	noWall bool
-	t0     time.Time
+	mu      sync.Mutex
+	events  []TraceEvent
+	names   []TraceEvent // metadata (process/thread name) events
+	noWall  bool
+	sampled map[int]bool // nil: every virtual rank track is recorded
+	t0      time.Time
 }
 
 // NewTracer returns an enabled, empty tracer with the wall-clock epoch at
@@ -74,6 +75,43 @@ func (t *Tracer) DisableWallClock() {
 	t.mu.Lock()
 	t.noWall = true
 	t.mu.Unlock()
+}
+
+// SampleVRanks restricts the virtual-machine tracks (PidMachine) to the
+// given rank ids: SpanV/InstantV/FlowV calls for other ranks are dropped,
+// as are their thread-name metadata events. Aggregate instrumentation
+// (registry histograms, timers) is unaffected — this is what makes
+// paper-scale runs traceable: every rank still contributes to the merged
+// rollups while only the sampled ranks pay the per-event trace cost.
+// Call before the simulated machine starts; nil or empty restores full
+// tracing.
+func (t *Tracer) SampleVRanks(ranks []int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(ranks) == 0 {
+		t.sampled = nil
+		return
+	}
+	t.sampled = make(map[int]bool, len(ranks))
+	for _, r := range ranks {
+		t.sampled[r] = true
+	}
+}
+
+// WantsV reports whether virtual events for rank tid will be recorded.
+// This is the hot-path guard: callers check it before building an args map,
+// so unsampled ranks pay one branch and zero allocations per would-be
+// event. Nil tracers want nothing; a tracer without sampling wants every
+// rank. The sampling set is fixed before the ranks start, so the read is
+// unsynchronized by design.
+func (t *Tracer) WantsV(tid int) bool {
+	if t == nil {
+		return false
+	}
+	return t.sampled == nil || t.sampled[tid]
 }
 
 // wallUS returns microseconds since the tracer epoch (0 when disabled).
@@ -125,7 +163,7 @@ func (s Span) EndWith(args map[string]any) {
 // the emission instant is attached as args["wall_us"], so every virtual
 // event is stamped with both clocks.
 func (t *Tracer) SpanV(tid int, name, cat string, t0, t1 float64, args map[string]any) {
-	if t == nil {
+	if !t.WantsV(tid) {
 		return
 	}
 	if !t.noWall {
@@ -140,7 +178,7 @@ func (t *Tracer) SpanV(tid int, name, cat string, t0, t1 float64, args map[strin
 
 // InstantV records an instant ("i") event on rank tid's virtual track.
 func (t *Tracer) InstantV(tid int, name, cat string, ts float64, args map[string]any) {
-	if t == nil {
+	if !t.WantsV(tid) {
 		return
 	}
 	if !t.noWall {
@@ -156,7 +194,7 @@ func (t *Tracer) InstantV(tid int, name, cat string, ts float64, args map[string
 // FlowV records a flow event (ph "s" for start at the sender, "f" for
 // finish at the receiver) binding two rank tracks with the shared id.
 func (t *Tracer) FlowV(ph string, tid int, name string, ts float64, id string) {
-	if t == nil {
+	if !t.WantsV(tid) {
 		return
 	}
 	t.emit(TraceEvent{Name: name, Cat: "msg", Ph: ph, Ts: ts * 1e6,
@@ -174,9 +212,14 @@ func (t *Tracer) SetProcessName(pid int, name string) {
 	t.mu.Unlock()
 }
 
-// SetThreadName attaches a metadata name to one track.
+// SetThreadName attaches a metadata name to one track. Machine-rank tracks
+// excluded by SampleVRanks are dropped, so a sampled trace names exactly
+// the tracks it carries.
 func (t *Tracer) SetThreadName(pid, tid int, name string) {
 	if t == nil {
+		return
+	}
+	if pid == PidMachine && !t.WantsV(tid) {
 		return
 	}
 	t.mu.Lock()
@@ -341,6 +384,47 @@ func ValidateChromeTrace(data []byte, minMachineRanks int) error {
 	if len(machineRanks) < minMachineRanks {
 		return fmt.Errorf("trace: %d rank tracks under pid %d, want >= %d",
 			len(machineRanks), PidMachine, minMachineRanks)
+	}
+	return nil
+}
+
+// ValidateFlowClosure checks that the trace's flow events close in both
+// directions: every flow start ("s") has a matching finish ("f") and vice
+// versa. ValidateChromeTrace only rejects f-without-s, so a dropped
+// send→recv binding (a send whose delivery never emitted its arrow)
+// passes the structural check silently; this is the stricter gate. The
+// comm layer emits a flow pair only when both endpoint ranks are traced,
+// so closure holds for full and rank-sampled traces alike.
+func ValidateFlowClosure(data []byte) error {
+	var top struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &top); err != nil {
+		return fmt.Errorf("trace: not a JSON object: %w", err)
+	}
+	starts := make(map[string]bool)
+	ends := make(map[string]bool)
+	for i, raw := range top.TraceEvents {
+		var ev TraceEvent
+		if err := json.Unmarshal(raw, &ev); err != nil {
+			return fmt.Errorf("trace: event %d: %w", i, err)
+		}
+		switch ev.Ph {
+		case "s":
+			starts[ev.ID] = true
+		case "f":
+			ends[ev.ID] = true
+		}
+	}
+	for id := range starts {
+		if !ends[id] {
+			return fmt.Errorf("trace: flow start %q without matching finish (dropped send/recv binding)", id)
+		}
+	}
+	for id := range ends {
+		if !starts[id] {
+			return fmt.Errorf("trace: flow finish %q without matching start", id)
+		}
 	}
 	return nil
 }

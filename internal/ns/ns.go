@@ -221,6 +221,11 @@ type stepInstr struct {
 	cfl                                        *instrument.Gauge
 	pressConv                                  *instrument.Gauge   // last pressure solve converged (1/0)
 	nonconv                                    *instrument.Counter // steps whose pressure solve hit the cap
+
+	// Distributions: per-step phase wall times and per-solve CG iteration
+	// counts (the timers/counters above only carry totals).
+	convectH, viscousH, pressureH, filterH *instrument.Histogram
+	viscousIterH, pressureIterH            *instrument.Histogram
 }
 
 // AttachMetrics wires the stepper's phases (convection subintegration,
@@ -246,6 +251,12 @@ func (s *Solver) AttachMetrics(reg *instrument.Registry) {
 		cfl:           reg.Gauge("ns/cfl"),
 		pressConv:     reg.Gauge("solver/pressure.converged"),
 		nonconv:       reg.Counter("ns/nonconverged.steps"),
+		convectH:      reg.Histogram("ns/convect.sec"),
+		viscousH:      reg.Histogram("ns/viscous.sec"),
+		pressureH:     reg.Histogram("ns/pressure.sec"),
+		filterH:       reg.Histogram("ns/filter.sec"),
+		viscousIterH:  reg.Histogram("solver/viscous.iters.hist"),
+		pressureIterH: reg.Histogram("solver/pressure.iters.hist"),
 	}
 	if s.projector != nil {
 		s.projector.ProjectTime = reg.Timer("solver/projection")

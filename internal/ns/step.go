@@ -62,6 +62,7 @@ func (s *Solver) Step() (StepStats, error) {
 		}
 	}
 	s.instr.convect.End(tConv)
+	s.instr.convectH.ObserveSince(tConv)
 	if s.tracer != nil {
 		spConv.EndWith(map[string]any{"substeps": totalSub})
 	}
@@ -133,7 +134,7 @@ func (s *Solver) Step() (StepStats, error) {
 		}
 		stats := solver.CG(s.helmOp,
 			s.D.Dot, du, b, solver.Options{Tol: cfg.VTol, Relative: true, MaxIter: 1000, Precond: s.jacobi,
-				Time: s.instr.viscousCG, Iters: s.instr.viscousIters,
+				Time: s.instr.viscousCG, Iters: s.instr.viscousIters, IterHist: s.instr.viscousIterH,
 				Tracer: s.tracer, TraceName: "helmholtz.cg", Scratch: s.cgScratch})
 		if !stats.Converged {
 			st.ViscousConverged = false
@@ -148,6 +149,7 @@ func (s *Solver) Step() (StepStats, error) {
 		}
 	}
 	s.instr.viscous.End(tVisc)
+	s.instr.viscousH.ObserveSince(tVisc)
 	spVisc.End()
 
 	// --- Pressure correction: E δp = -(β/Δt) D u*. ---
@@ -166,7 +168,7 @@ func (s *Solver) Step() (StepStats, error) {
 		dp[i] = 0
 	}
 	popt := solver.Options{Tol: cfg.PTol, MaxIter: cfg.PMaxIter, History: s.history != nil,
-		Time: s.instr.pressureCG, Iters: s.instr.pressureIters,
+		Time: s.instr.pressureCG, Iters: s.instr.pressureIters, IterHist: s.instr.pressureIterH,
 		Tracer: s.tracer, TraceName: "pressure.cg", Converged: s.instr.pressConv,
 		Scratch: s.cgScratch}
 	if s.pPre != nil {
@@ -200,6 +202,7 @@ func (s *Solver) Step() (StepStats, error) {
 		}
 	}
 	s.instr.pressure.End(tPres)
+	s.instr.pressureH.ObserveSince(tPres)
 	if s.tracer != nil {
 		spPres.EndWith(map[string]any{"iterations": pstats.Iterations, "converged": pstats.Converged})
 	}
@@ -241,6 +244,7 @@ func (s *Solver) Step() (StepStats, error) {
 		s.D.ApplyFilter(s.filter, s.T)
 	}
 	s.instr.filter.End(tFilt)
+	s.instr.filterH.ObserveSince(tFilt)
 	spFilt.End()
 	// History rotation keeps up to Order-1 previous velocities. The ring
 	// reuses the retired oldest entry's arrays once the window is full, so

@@ -71,6 +71,13 @@ type NSConfig struct {
 	Registry *instrument.Registry   // optional metrics
 	Tracer   *instrument.Tracer     // optional trace (per-rank virtual tracks)
 	History  *instrument.TimeSeries // optional per-step StepRecord telemetry
+
+	// OnStep, when non-nil, is called by rank 0 after each completed step
+	// with that step's statistics and rank 0's virtual clock. It runs on the
+	// rank-0 goroutine while the machine is live — implementations must be
+	// fast and concurrency-safe (the live /progress endpoint feeds on it).
+	// It observes the run without perturbing it: no virtual-clock cost.
+	OnStep func(st ns.StepStats, virtualSec float64)
 }
 
 // NSResult reports a distributed time advancement.
@@ -406,6 +413,15 @@ type nsRank struct {
 	// executed steps — the raw material of the strong-scaling breakdown.
 	phaseV [4]float64
 
+	// Distribution rollups shared by all ranks through the registry: each
+	// rank Observes its own per-step phase times and CG iteration counts
+	// into the same atomic histograms, so the merged per-phase distribution
+	// over all P ranks exists without any per-rank trace track.
+	phaseHist [4]*instrument.Histogram
+	stepHist  *instrument.Histogram
+	vIterHist *instrument.Histogram
+	pIterHist *instrument.Histogram
+
 	// Per-element flop charges for the rank's virtual clock.
 	stiffF, gradF, filtF int64
 
@@ -445,6 +461,14 @@ func nsRankBody(r *comm.Rank, tmpl *ns.Solver, mine []int, xxt *coarse.XXT, invP
 	k.h = gs.ParInit(r, gids)
 	k.h.Attach(cfg.Registry)
 	k.h.AttachTracer(cfg.Tracer)
+	if reg := cfg.Registry; reg != nil {
+		for i, name := range [4]string{"convect", "viscous", "pressure", "filter"} {
+			k.phaseHist[i] = reg.Histogram("ns/" + name + ".vsec")
+		}
+		k.stepHist = reg.Histogram("ns/step.vsec")
+		k.vIterHist = reg.Histogram("solver/viscous.iters.hist")
+		k.pIterHist = reg.Histogram("solver/pressure.iters.hist")
+	}
 	k.mult = make([]float64, k.nloc)
 	for i := range k.mult {
 		k.mult[i] = 1
@@ -544,6 +568,9 @@ func nsRankBody(r *comm.Rank, tmpl *ns.Solver, mine []int, xxt *coarse.XXT, invP
 			return rankOut{steps: steps, vStart: vStart, err: err}
 		}
 		steps = append(steps, rec)
+		if cfg.OnStep != nil && r.ID == 0 {
+			cfg.OnStep(rec.stats, rec.vEnd)
+		}
 		if sink != nil && (s+1)%cfg.CheckpointEvery == 0 {
 			sink.deposit(s+1, k.time, k.snapshot())
 		}
@@ -814,7 +841,7 @@ func (k *nsRank) pressurePrecond(out, r []float64) {
 		panic(err)
 	}
 	rk.Compute(flops)
-	if tr != nil {
+	if tr.WantsV(rk.ID) {
 		tr.SpanV(rk.ID, "schwarz/local", "precond", t0, rk.Time,
 			map[string]any{"elems": len(k.mine)})
 	}
@@ -846,7 +873,7 @@ func (k *nsRank) pressurePrecond(out, r []float64) {
 	}
 	cf = k.pre.CoarseProlongElems(zv, x0, k.mine)
 	rk.Compute(cf)
-	if tr != nil {
+	if tr.WantsV(rk.ID) {
 		tr.SpanV(rk.ID, "schwarz/coarse", "precond", t1, rk.Time,
 			map[string]any{"nvert": nv})
 	}
@@ -1055,7 +1082,7 @@ func (k *nsRank) step(stepNo int) (rankStep, error) {
 	}
 	st.Substeps = totalSub
 	k.histBuf = hist[:0]
-	if tr != nil {
+	if tr.WantsV(r.ID) {
 		tr.SpanV(r.ID, "ns/convect", "ns", tConv, r.Time,
 			map[string]any{"step": stepNo, "substeps": totalSub})
 	}
@@ -1117,7 +1144,7 @@ func (k *nsRank) step(stepNo int) (rankStep, error) {
 		// their spans on the single wall-clock track.
 		stats := solver.CG(helmOp, k.dotV, du, b, solver.Options{
 			Tol: cfg.VTol, Relative: true, MaxIter: 1000, Precond: jacobi,
-			Scratch: k.cgScratch})
+			IterHist: k.vIterHist, Scratch: k.cgScratch})
 		if !stats.Converged {
 			st.ViscousConverged = false
 		}
@@ -1129,7 +1156,7 @@ func (k *nsRank) step(stepNo int) (rankStep, error) {
 			u[i] += du[i]
 		}
 	}
-	if tr != nil {
+	if tr.WantsV(r.ID) {
 		tr.SpanV(r.ID, "ns/viscous", "ns", tVisc, r.Time,
 			map[string]any{"step": stepNo, "iters": st.HelmholtzIters[0]})
 	}
@@ -1149,7 +1176,7 @@ func (k *nsRank) step(stepNo int) (rankStep, error) {
 		dp[i] = 0
 	}
 	popt := solver.Options{Tol: cfg.PTol, MaxIter: cfg.PMaxIter,
-		History: k.cfg.History != nil, Scratch: k.cgScratch}
+		History: k.cfg.History != nil, IterHist: k.pIterHist, Scratch: k.cgScratch}
 	if k.pre != nil {
 		popt.Precond = k.pressurePrecond
 	}
@@ -1177,7 +1204,7 @@ func (k *nsRank) step(stepNo int) (rankStep, error) {
 		}
 	}
 	k.r.Compute(int64(3 * k.dim * k.nloc))
-	if tr != nil {
+	if tr.WantsV(r.ID) {
 		tr.SpanV(r.ID, "ns/pressure", "ns", tPres, r.Time,
 			map[string]any{"step": stepNo, "iterations": pstats.Iterations, "converged": pstats.Converged})
 	}
@@ -1207,7 +1234,7 @@ func (k *nsRank) step(stepNo int) (rankStep, error) {
 			filterRemoved -= k.dotV(k.ustar[c], k.ustar[c])
 		}
 	}
-	if tr != nil {
+	if tr.WantsV(r.ID) {
 		tr.SpanV(r.ID, "ns/filter", "ns", tFilt, r.Time,
 			map[string]any{"step": stepNo})
 	}
@@ -1278,6 +1305,8 @@ func (k *nsRank) step(stepNo int) (rankStep, error) {
 	rec.phase = [4]float64{tVisc - tConv, tPres - tVisc, tFilt - tPres, r.Time - tFilt}
 	for i, v := range rec.phase {
 		k.phaseV[i] += v
+		k.phaseHist[i].Observe(v)
 	}
+	k.stepHist.Observe(r.Time - tConv)
 	return rec, nil
 }

@@ -296,7 +296,7 @@ func rankBody(r *comm.Rank, m *mesh.Mesh, mask []float64, neumann bool,
 			panic(err)
 		}
 		r.Compute(flops)
-		if tr != nil {
+		if tr.WantsV(r.ID) {
 			tr.SpanV(r.ID, "schwarz/local", "precond", t0, r.Time,
 				map[string]any{"elems": len(mine)})
 		}
@@ -324,7 +324,7 @@ func rankBody(r *comm.Rank, m *mesh.Mesh, mask []float64, neumann bool,
 		}
 		cf = pre.CoarseProlongElems(out, x0, mine)
 		r.Compute(cf)
-		if tr != nil {
+		if tr.WantsV(r.ID) {
 			tr.SpanV(r.ID, "schwarz/coarse", "precond", t1, r.Time,
 				map[string]any{"nvert": nv})
 		}

@@ -45,6 +45,10 @@ type Options struct {
 	// Converged is set to 1/0 after each solve (last-solve convergence
 	// indicator; nil no-ops).
 	Converged *instrument.Gauge
+	// IterHist observes the iteration count of each solve, so the report
+	// carries the distribution (p50/p99 of CG iterations per step) and not
+	// just the total. Safe to share across ranks: Observe is atomic.
+	IterHist *instrument.Histogram
 	// Tracer wraps the whole solve in a wall-clock span named TraceName
 	// (default "cg") carrying iterations/convergence args. Leave nil when
 	// many solves run concurrently on one track (the begin/end pairs would
@@ -99,6 +103,7 @@ func CG(apply Operator, dot Dot, x, b []float64, opt Options) Stats {
 	}
 	opt.Time.End(t0)
 	opt.Iters.Add(int64(st.Iterations))
+	opt.IterHist.Observe(float64(st.Iterations))
 	if st.Converged {
 		opt.Converged.Set(1)
 	} else {

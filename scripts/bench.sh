@@ -1,7 +1,7 @@
 #!/bin/sh
 # Reproducible benchmark harness: runs the stepping and kernel benchmarks
 # with -benchmem and converts the output into a schema'd JSON artifact
-# (BENCH_6.json at the repo root) via cmd/benchjson. The artifact embeds
+# (BENCH_7.json at the repo root) via cmd/benchjson. The artifact embeds
 #
 #   - the current measurements,
 #   - the committed seed baseline (scripts/bench_baseline.json), so one
@@ -16,16 +16,17 @@
 #                               validated, not committed
 #
 # Environment overrides:
-#   BENCH_REGEX    benchmark selector (default: Table 1 stepping, the
-#                  distributed channel stepper at P=4 and P=64, and Table 3
-#                  kernels — the benchmarks tracked in BENCH_6.json)
+#   BENCH_REGEX    benchmark selector (default: Table 1 stepping including
+#                  the instrumented-overhead run with histogram recording,
+#                  the distributed channel stepper at P=4 and P=64, and
+#                  Table 3 kernels — the benchmarks tracked in BENCH_7.json)
 #   BENCH_TIME     -benchtime value for the full run (default 1s)
 #   BENCH_COUNT    -count value for the full run (default 1)
-#   BENCH_OUT      artifact path for the full run (default BENCH_6.json)
+#   BENCH_OUT      artifact path for the full run (default BENCH_7.json)
 set -eu
 cd "$(dirname "$0")/.."
 
-regex="${BENCH_REGEX:-BenchmarkTable1ChannelStep$|BenchmarkTable1ChannelStepW4$|BenchmarkTable1ChannelStepTuned$|BenchmarkChannelStepDistributed$|BenchmarkChannelStepDistributedP64$|BenchmarkTable3}"
+regex="${BENCH_REGEX:-BenchmarkTable1ChannelStep$|BenchmarkTable1ChannelStepW4$|BenchmarkTable1ChannelStepTuned$|BenchmarkTable1ChannelStepInstrumented$|BenchmarkChannelStepDistributed$|BenchmarkChannelStepDistributedP64$|BenchmarkTable3}"
 mode="${1:-full}"
 
 tmp="$(mktemp -d)"
@@ -44,7 +45,7 @@ quick)
     echo "bench smoke OK (artifact validated, not committed)"
     ;;
 full)
-    out="${BENCH_OUT:-BENCH_6.json}"
+    out="${BENCH_OUT:-BENCH_7.json}"
     benchtime="${BENCH_TIME:-1s}"
     count="${BENCH_COUNT:-1}"
     echo "== bench: -benchtime=$benchtime -count=$count over $regex =="

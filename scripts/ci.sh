@@ -8,9 +8,11 @@
 #           sem worker pools, instrument counters) still runs under -race.
 #   static  staticcheck over the module (skipped with a note when the
 #           binary is not installed; the workflow installs it)
-#   smoke   build semflow + tracecheck once, then validate the -trace and
-#           -history artifacts of the serial, distributed, fault-injected,
-#           and checkpoint/restart paths
+#   smoke   build semflow + tracecheck + tracepath once, then validate the
+#           -trace and -history artifacts of the serial, distributed,
+#           fault-injected, and checkpoint/restart paths, scrape the live
+#           -listen endpoint mid-run, and walk the P=256 trace's critical
+#           path
 #   bench   benchmark harness, one iteration per benchmark + artifact check
 #
 # Usage: scripts/ci.sh [tier1|tier2|static|smoke|bench|all]   (default all)
@@ -59,7 +61,7 @@ smoke() {
 
     # Build the drivers once; every smoke below reuses the binaries instead
     # of paying `go run` compilation per invocation.
-    stage "smoke/build" go build -o "$out/bin/" ./cmd/semflow ./cmd/tracecheck
+    stage "smoke/build" go build -o "$out/bin/" ./cmd/semflow ./cmd/tracecheck ./cmd/tracepath
 
     echo "== smoke: semflow -trace/-history artifacts validate =="
     "$out/bin/semflow" -case shearlayer -nel 4 -n 5 -steps 2 -report 1 \
@@ -95,8 +97,51 @@ EOF
     # time. tracecheck still validates all 256 rank tracks.
     "$out/bin/semflow" -case channel -kx 32 -ky 8 -n 4 -ranks 256 -steps 1 \
         -report 1 -piters 8 -trace "$out/p256-trace.json"
-    "$out/bin/tracecheck" -trace "$out/p256-trace.json" -min-ranks 256
+    "$out/bin/tracecheck" -trace "$out/p256-trace.json" -min-ranks 256 -flows-closed
+    # Critical-path analysis over the same trace: the report must attribute
+    # the P=256 step to the collective-latency categories.
+    "$out/bin/tracepath" -trace "$out/p256-trace.json" | tee "$out/p256-critpath.txt"
+    grep -q "allreduce" "$out/p256-critpath.txt"
     rm -f "$out/p256-trace.json" # hundreds of MB; validated, not uploaded
+
+    echo "== smoke: live /metrics and /progress scrape during a -ranks run =="
+    # Rank-sampled trace plus the live endpoint: the run lingers after the
+    # last step so the scrape below cannot race completion.
+    "$out/bin/semflow" -case channel -n 5 -ranks 4 -steps 4 -report 1 \
+        -listen 127.0.0.1:0 -linger 30s -trace "$out/sampled-trace.json" \
+        -trace-sample 2 > "$out/listen.log" 2>&1 &
+    listen_pid=$!
+    addr=""
+    for _ in $(seq 1 100); do
+        addr="$(sed -n 's|^observability: listening on http://\([^ ]*\).*|\1|p' "$out/listen.log")"
+        [ -n "$addr" ] && break
+        sleep 0.2
+    done
+    if [ -z "$addr" ]; then
+        echo "semflow -listen never reported an address:" >&2
+        cat "$out/listen.log" >&2
+        kill "$listen_pid" 2>/dev/null || true
+        exit 1
+    fi
+    "$out/bin/tracecheck" -metrics-url "http://$addr/metrics" \
+        -progress-url "http://$addr/progress"
+    # Let the run finish writing its artifacts (it lingers afterwards, so
+    # the endpoint staying up never races the trace write), then stop it.
+    for _ in $(seq 1 300); do
+        grep -q "trace events" "$out/listen.log" && break
+        sleep 0.2
+    done
+    grep -q "trace events" "$out/listen.log" || {
+        echo "semflow never wrote the sampled trace:" >&2
+        cat "$out/listen.log" >&2
+        kill "$listen_pid" 2>/dev/null || true
+        exit 1
+    }
+    kill "$listen_pid" 2>/dev/null || true
+    wait "$listen_pid" 2>/dev/null || true
+    # The sampled trace keeps full tracks for exactly 2 of the 4 ranks and
+    # stays flow-closed by construction.
+    "$out/bin/tracecheck" -trace "$out/sampled-trace.json" -min-ranks 2 -flows-closed
 
     echo "== smoke: checkpoint at step 2, resume to step 4 =="
     "$out/bin/semflow" -case channel -n 5 -ranks 4 -steps 2 -report 1 \
