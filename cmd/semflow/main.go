@@ -19,6 +19,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -48,6 +49,7 @@ func main() {
 	l := flag.Int("L", 20, "pressure projection basis size")
 	workers := flag.Int("workers", 2, "element-loop workers (dual-processor mode analogue)")
 	autotune := flag.Bool("autotune", false, "micro-benchmark the matmul kernels for this case's shapes and install the per-shape dispatch table (bitwise-identical Strict mode)")
+	autotuneCache := flag.String("autotune-cache", "", "like -autotune, but persist the tuned dispatch table to this file and reuse it on later runs; the cache is keyed by CPU model and Go version, and any mismatch forces a re-tune")
 	every := flag.Int("report", 10, "report interval")
 	stats := flag.Bool("stats", false, "print the per-phase instrumentation report after the run")
 	statsJSON := flag.Bool("stats-json", false, "like -stats, but emit JSON")
@@ -123,7 +125,27 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if *autotune {
+	switch {
+	case *autotuneCache != "":
+		if dt, err := la.LoadCache(*autotuneCache); err == nil {
+			la.Install(dt)
+			fmt.Printf("autotune: reusing cached dispatch table %s\n", *autotuneCache)
+			break
+		} else if !errors.Is(err, os.ErrNotExist) {
+			// A stale or foreign cache is re-tuned, never trusted.
+			slog.Warn("autotune cache unusable, re-tuning", "err", err)
+		}
+		res := la.AutoTune(s.M.N, s.M.Dim)
+		fmt.Printf("autotune: %d shapes tuned (strict kernels only)\n", len(res))
+		for _, r := range res {
+			fmt.Printf("  %s\n", r)
+		}
+		if err := la.SaveCache(*autotuneCache, la.Installed()); err != nil {
+			slog.Warn("autotune cache not written", "err", err)
+		} else {
+			fmt.Printf("autotune: dispatch table cached to %s\n", *autotuneCache)
+		}
+	case *autotune:
 		res := la.AutoTune(s.M.N, s.M.Dim)
 		fmt.Printf("autotune: %d shapes tuned (strict kernels only)\n", len(res))
 		for _, r := range res {

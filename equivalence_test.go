@@ -1,6 +1,8 @@
 package repro_test
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/flowcases"
@@ -56,6 +58,7 @@ func TestChannelStepAllocationFree(t *testing.T) {
 	}
 	s := channelSolver(t, 1)
 	stepN(t, s, 24)
+	drainPoolFinalizers()
 	allocs := testing.AllocsPerRun(4, func() {
 		if _, err := s.Step(); err != nil {
 			t.Fatal(err)
@@ -89,14 +92,57 @@ func TestTunedDispatchChannelGolden(t *testing.T) {
 }
 
 // The element worker pool must not change results: all parallel loops write
-// disjoint element blocks with deterministic work assignment.
+// disjoint element blocks with deterministic work assignment. The coarse
+// chunk partition depends on the worker count, so W ∈ {2, 4, 8} exercises
+// distinct element-to-worker maps (including W=8 > K/2 where trailing
+// workers get short or empty chunks). GOMAXPROCS is forced above 1 so the
+// pool actually dispatches instead of taking its serial fallback.
 func TestWorkersChannelGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the channel case repeatedly")
+	}
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	ref := channelSolver(t, 1)
+	stepN(t, ref, 5)
+	for _, w := range []int{2, 4, 8} {
+		par := channelSolver(t, w)
+		stepN(t, par, 5)
+		compareFields(t, ref, par, fmt.Sprintf("workers=%d", w))
+	}
+}
+
+// The batched multi-RHS viscous path (one Helmholtz sweep and one lockstep
+// CG over all velocity components) must be bitwise identical to the
+// per-component reference path: the wide MulABt computes each output row as
+// the same sequential dot product, and CGMulti's per-column arithmetic is
+// exactly CG's.
+func TestBatchedViscousGolden(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs the channel case twice")
 	}
-	ref := channelSolver(t, 1)
+	build := func(unbatched bool) *ns.Solver {
+		cfg, init, _, err := flowcases.ChannelSpec(flowcases.ChannelConfig{
+			Re: 7500, Alpha: 1, N: 9, Dt: 0.003125, Order: 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.UnbatchedViscous = unbatched
+		s, err := ns.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.SetVelocity(init)
+		return s
+	}
+	ref := build(true)
 	stepN(t, ref, 5)
-	par := channelSolver(t, 4)
-	stepN(t, par, 5)
-	compareFields(t, ref, par, "workers=4")
+	batched := build(false)
+	stepN(t, batched, 5)
+	compareFields(t, ref, batched, "batched viscous")
+	for c := 0; c < 2; c++ {
+		if ref.StepCount() != batched.StepCount() {
+			t.Fatalf("step counts differ")
+		}
+	}
 }

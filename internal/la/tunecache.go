@@ -1,0 +1,129 @@
+package la
+
+// tunecache.go persists a tuned DispatchTable across runs. Tuning is a
+// micro-benchmark of this machine's cache hierarchy and this compiler's
+// code generation, so a cached table is only trustworthy on the exact
+// CPU model and Go toolchain that produced it: LoadCache rejects any
+// other combination with ErrCacheMismatch and the caller re-tunes.
+// Kernels are stored by name, not enum value, so the file survives
+// kernel-set reordering and garbage files fail loudly.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+)
+
+// ErrCacheMismatch reports a tune cache produced on different hardware or
+// a different toolchain; the table must be re-tuned, not trusted.
+var ErrCacheMismatch = errors.New("la: tune cache key mismatch")
+
+// CacheKey identifies the machine/toolchain combination a tuned dispatch
+// table is valid for: the CPU model string plus the Go version.
+func CacheKey() string { return cpuModel() + " | " + runtime.Version() }
+
+// cpuModel reads the first "model name" line of /proc/cpuinfo; on systems
+// without one (non-Linux, some arm64 kernels) it falls back to GOOS/GOARCH,
+// which still fences the cache from crossing OS or architecture lines.
+func cpuModel() string {
+	if b, err := os.ReadFile("/proc/cpuinfo"); err == nil {
+		for _, line := range strings.Split(string(b), "\n") {
+			if k, v, ok := strings.Cut(line, ":"); ok && strings.TrimSpace(k) == "model name" {
+				return strings.TrimSpace(v)
+			}
+		}
+	}
+	return runtime.GOOS + "/" + runtime.GOARCH
+}
+
+type cacheFile struct {
+	Key string       `json:"key"`
+	Mul []cacheEntry `json:"mul"`
+	ABt []cacheEntry `json:"abt"`
+}
+
+type cacheEntry struct {
+	Shape  [3]int `json:"shape"`
+	Kernel string `json:"kernel"`
+}
+
+// SaveCache writes dt's pinned shapes to path as JSON under this machine's
+// CacheKey. Only non-default entries are stored, so the file stays a few
+// dozen lines regardless of the table's in-memory size.
+func SaveCache(path string, dt *DispatchTable) error {
+	f := cacheFile{Key: CacheKey()}
+	for i, v := range dt.mul {
+		if v != 0 {
+			f.Mul = append(f.Mul, cacheEntry{cacheShape(i), MatMulKernel(v - 1).String()})
+		}
+	}
+	for i, v := range dt.abt {
+		if v != 0 {
+			f.ABt = append(f.ABt, cacheEntry{cacheShape(i), ABtKernel(v - 1).String()})
+		}
+	}
+	b, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+func cacheShape(i int) [3]int {
+	return [3]int{i / (dispatchDim * dispatchDim), (i / dispatchDim) % dispatchDim, i % dispatchDim}
+}
+
+// LoadCache reads a table saved by SaveCache. It returns an error wrapping
+// ErrCacheMismatch when the file was tuned on a different CPU model or Go
+// version, and a plain error for unreadable or malformed files; in every
+// error case no table is returned and the caller should re-tune.
+func LoadCache(path string) (*DispatchTable, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f cacheFile
+	if err := json.Unmarshal(b, &f); err != nil {
+		return nil, fmt.Errorf("la: tune cache %s: %w", path, err)
+	}
+	if key := CacheKey(); f.Key != key {
+		return nil, fmt.Errorf("%w: file tuned on %q, this machine is %q", ErrCacheMismatch, f.Key, key)
+	}
+	dt := &DispatchTable{}
+	for _, e := range f.Mul {
+		k, err := parseMulKernel(e.Kernel)
+		if err != nil {
+			return nil, fmt.Errorf("la: tune cache %s: %w", path, err)
+		}
+		dt.SetMul(e.Shape[0], e.Shape[1], e.Shape[2], k)
+	}
+	for _, e := range f.ABt {
+		k, err := parseABtKernel(e.Kernel)
+		if err != nil {
+			return nil, fmt.Errorf("la: tune cache %s: %w", path, err)
+		}
+		dt.SetABt(e.Shape[0], e.Shape[1], e.Shape[2], k)
+	}
+	return dt, nil
+}
+
+func parseMulKernel(name string) (MatMulKernel, error) {
+	for i, n := range kernelNames {
+		if n == name {
+			return MatMulKernel(i), nil
+		}
+	}
+	return 0, fmt.Errorf("unknown mul kernel %q", name)
+}
+
+func parseABtKernel(name string) (ABtKernel, error) {
+	for i, n := range abtNames {
+		if n == name {
+			return ABtKernel(i), nil
+		}
+	}
+	return 0, fmt.Errorf("unknown abt kernel %q", name)
+}

@@ -1,0 +1,92 @@
+package la
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestTuneCacheRoundTrip(t *testing.T) {
+	dt := &DispatchTable{}
+	dt.SetMul(10, 10, 10, KernelBlocked)
+	dt.SetMul(8, 10, 8, KernelIKJ)
+	dt.SetABt(10, 10, 10, ABtBlocked)
+	dt.SetABt(20, 10, 10, ABtUnrolled)
+	path := filepath.Join(t.TempDir(), "tune.json")
+	if err := SaveCache(path, dt); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCache(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *dt {
+		t.Error("loaded table differs from saved table")
+	}
+	if k, ok := got.MulKernel(10, 10, 10); !ok || k != KernelBlocked {
+		t.Errorf("mul(10,10,10) = %v, %v; want blocked", k, ok)
+	}
+	if k, ok := got.ABtKernel(20, 10, 10); !ok || k != ABtUnrolled {
+		t.Errorf("abt(20,10,10) = %v, %v; want abt-unroll", k, ok)
+	}
+}
+
+func TestTuneCacheRejectsForeignKey(t *testing.T) {
+	dt := &DispatchTable{}
+	dt.SetMul(10, 10, 10, KernelBlocked)
+	path := filepath.Join(t.TempDir(), "tune.json")
+	if err := SaveCache(path, dt); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A table tuned on any other machine or toolchain must be rejected.
+	forged := strings.Replace(string(b), CacheKey(), "other cpu | go0.0", 1)
+	if forged == string(b) {
+		t.Fatal("cache key not found in file")
+	}
+	if err := os.WriteFile(path, []byte(forged), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCache(path); !errors.Is(err, ErrCacheMismatch) {
+		t.Errorf("LoadCache on foreign key: err = %v, want ErrCacheMismatch", err)
+	}
+}
+
+func TestTuneCacheRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	missing := filepath.Join(dir, "nope.json")
+	if _, err := LoadCache(missing); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("LoadCache on missing file: err = %v, want ErrNotExist", err)
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCache(bad); err == nil || errors.Is(err, ErrCacheMismatch) {
+		t.Errorf("LoadCache on malformed file: err = %v, want a parse error", err)
+	}
+	// Right key, unknown kernel name: stale files from a future kernel set
+	// must fail rather than silently map to a wrong kernel.
+	unk := filepath.Join(dir, "unk.json")
+	body := `{"key":` + string(mustJSON(CacheKey())) + `,"mul":[{"shape":[4,4,4],"kernel":"warp9"}]}`
+	if err := os.WriteFile(unk, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCache(unk); err == nil || !strings.Contains(err.Error(), "warp9") {
+		t.Errorf("LoadCache with unknown kernel: err = %v, want unknown-kernel error", err)
+	}
+}
+
+func mustJSON(s string) []byte {
+	b, err := json.Marshal(s)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}

@@ -68,6 +68,12 @@ type Config struct {
 	// PressurePrecond selects the E-preconditioner: "schwarz" (default) or
 	// "none".
 	PressurePrecond string
+
+	// UnbatchedViscous keeps the per-component Helmholtz CG loop instead of
+	// the batched multi-RHS solve. The batched path is bitwise identical
+	// (see solver.CGMulti / sem.HelmholtzMulti); this gate exists as the
+	// reference side of that golden comparison and as an escape hatch.
+	UnbatchedViscous bool
 }
 
 // StepStats reports one time step.
@@ -176,6 +182,16 @@ type Solver struct {
 	utilArena [][3][]float64 // subintegrated velocity fields ũ^{n-q}
 	tTilArena [][]float64    // subintegrated scalar fields
 	cgScratch *solver.Scratch
+
+	// Batched multi-RHS viscous solve: per-component RHS/operator-image/
+	// increment arenas, reusable headers over ustar, the batched Helmholtz
+	// closure, and the CGMulti scratch.
+	bMulti      [][]float64
+	huMulti     [][]float64
+	duMulti     [][]float64
+	ustarHdr    [][]float64
+	helmMultiOp solver.MultiOperator
+	cgMulti     *solver.MultiScratch
 
 	// Cached Helmholtz diagonals (keyed by the h1/h2 pair, which only
 	// changes during the BDF ramp-up) and prebuilt operator closures so the
@@ -458,6 +474,18 @@ func New(cfg Config) (*Solver, error) {
 		}
 	}
 	s.cgScratch = &solver.Scratch{}
+	s.bMulti = make([][]float64, s.dim)
+	s.huMulti = make([][]float64, s.dim)
+	s.duMulti = make([][]float64, s.dim)
+	s.ustarHdr = make([][]float64, s.dim)
+	for c := 0; c < s.dim; c++ {
+		s.bMulti[c] = make([]float64, s.n)
+		s.huMulti[c] = make([]float64, s.n)
+		s.duMulti[c] = make([]float64, s.n)
+	}
+	s.cgMulti = &solver.MultiScratch{}
+	s.helmMultiOp = func(outs, ins [][]float64) { s.D.HelmholtzMulti(outs, ins, s.curH1, s.curH2) }
+	s.D.EnsureBatch(s.dim)
 	s.helmOp = func(out, in []float64) { s.D.Helmholtz(out, in, s.curH1, s.curH2) }
 	s.jacobi = func(out, in []float64) {
 		diag := s.helmDiag

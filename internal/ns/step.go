@@ -82,70 +82,72 @@ func (s *Solver) Step() (StepStats, error) {
 	s.GradientT(gp[:s.dim], s.P)
 
 	ustar := s.ustar
-	m := s.M
-	for c := 0; c < s.dim; c++ {
-		b := s.bArena
-		for i := 0; i < s.n; i++ {
-			var sum float64
-			for q := 0; q < order; q++ {
-				sum += gamma[q] * utils[q][c][i]
+	if cfg.UnbatchedViscous {
+		for c := 0; c < s.dim; c++ {
+			b := s.bArena
+			s.buildViscousRHS(b, c, order, gamma, utils, tTil, beta, tNew)
+			// Dirichlet lifting: start from boundary values, solve the
+			// masked correction.
+			u := ustar[c]
+			copy(u, s.U[c])
+			s.setDirichletComponent(u, c, tNew)
+			hu := s.huArena
+			s.D.Helmholtz(hu, u, h1, h2)
+			s.finishViscousRHS(b, hu)
+			du := s.duArena
+			for i := range du {
+				du[i] = 0
 			}
-			b[i] = m.B[i] * sum / cfg.Dt
-		}
-		if cfg.Forcing != nil {
-			for i := 0; i < s.n; i++ {
-				fx, fy, fz := cfg.Forcing(m.X[i], m.Y[i], m.Zc[i], tNew)
-				f := [3]float64{fx, fy, fz}
-				b[i] += m.B[i] * f[c]
+			stats := solver.CG(s.helmOp, s.D.Dot, du, b, s.viscousOptions())
+			if !stats.Converged {
+				st.ViscousConverged = false
 			}
-		}
-		if cfg.Scalar != nil && cfg.Scalar.Buoyancy[c] != 0 {
-			// Explicit extrapolated buoyancy from the subintegrated scalar.
-			for i := 0; i < s.n; i++ {
-				var sum float64
-				for q := 0; q < order; q++ {
-					sum += gamma[q] * tTil[q][i]
-				}
-				b[i] += m.B[i] * cfg.Scalar.Buoyancy[c] * sum / beta
+			if !stats.Converged && stats.FinalRes > 1e-6 {
+				spVisc.End()
+				return st, fmt.Errorf("ns: Helmholtz solve for component %d failed (res %g)", c, stats.FinalRes)
 			}
-		}
-		for i := range b {
-			b[i] += gp[c][i]
-		}
-		s.D.Assemble(b)
-		// Dirichlet lifting: start from boundary values, solve the masked
-		// correction.
-		u := ustar[c]
-		copy(u, s.U[c])
-		s.setDirichletComponent(u, c, tNew)
-		hu := s.huArena
-		s.D.Helmholtz(hu, u, h1, h2)
-		for i := range b {
-			b[i] -= hu[i]
-		}
-		if s.maskV != nil {
-			for i, mk := range s.maskV {
-				b[i] *= mk
+			st.HelmholtzIters[c] = stats.Iterations
+			for i := range u {
+				u[i] += du[i]
 			}
 		}
-		du := s.duArena
-		for i := range du {
-			du[i] = 0
+	} else {
+		// Batched multi-RHS path: build every component's RHS and lifted
+		// boundary field first, apply the Helmholtz lift to all components
+		// in one batched element sweep, then solve the component systems in
+		// lockstep — one operator sweep per CG iteration across all columns.
+		// Bitwise identical to the per-component loop above (the reference
+		// side of TestBatchedViscousGolden).
+		for c := 0; c < s.dim; c++ {
+			s.buildViscousRHS(s.bMulti[c], c, order, gamma, utils, tTil, beta, tNew)
+			u := ustar[c]
+			copy(u, s.U[c])
+			s.setDirichletComponent(u, c, tNew)
+			s.ustarHdr[c] = u
 		}
-		stats := solver.CG(s.helmOp,
-			s.D.Dot, du, b, solver.Options{Tol: cfg.VTol, Relative: true, MaxIter: 1000, Precond: s.jacobi,
-				Time: s.instr.viscousCG, Iters: s.instr.viscousIters, IterHist: s.instr.viscousIterH,
-				Tracer: s.tracer, TraceName: "helmholtz.cg", Scratch: s.cgScratch})
-		if !stats.Converged {
-			st.ViscousConverged = false
+		s.D.HelmholtzMulti(s.huMulti, s.ustarHdr, h1, h2)
+		for c := 0; c < s.dim; c++ {
+			s.finishViscousRHS(s.bMulti[c], s.huMulti[c])
+			du := s.duMulti[c]
+			for i := range du {
+				du[i] = 0
+			}
 		}
-		if !stats.Converged && stats.FinalRes > 1e-6 {
-			spVisc.End()
-			return st, fmt.Errorf("ns: Helmholtz solve for component %d failed (res %g)", c, stats.FinalRes)
-		}
-		st.HelmholtzIters[c] = stats.Iterations
-		for i := range u {
-			u[i] += du[i]
+		sts := solver.CGMulti(s.helmMultiOp, s.D.Dot, s.duMulti, s.bMulti, s.viscousOptions(), s.cgMulti)
+		for c := 0; c < s.dim; c++ {
+			stats := sts[c]
+			if !stats.Converged {
+				st.ViscousConverged = false
+			}
+			if !stats.Converged && stats.FinalRes > 1e-6 {
+				spVisc.End()
+				return st, fmt.Errorf("ns: Helmholtz solve for component %d failed (res %g)", c, stats.FinalRes)
+			}
+			st.HelmholtzIters[c] = stats.Iterations
+			u, du := ustar[c], s.duMulti[c]
+			for i := range u {
+				u[i] += du[i]
+			}
 		}
 	}
 	s.instr.viscous.End(tVisc)
@@ -329,6 +331,65 @@ func (s *Solver) Step() (StepStats, error) {
 		})
 	}
 	return st, nil
+}
+
+// buildViscousRHS fills b with component c's Helmholtz right-hand side —
+// the BDF history term, forcing, extrapolated buoyancy, and the lagged
+// pressure gradient (already computed into s.scr345) — then assembles it.
+// Shared verbatim by the batched and per-component viscous paths.
+func (s *Solver) buildViscousRHS(b []float64, c, order int, gamma []float64, utils [][3][]float64, tTil [][]float64, beta, tNew float64) {
+	cfg := s.Cfg
+	m := s.M
+	for i := 0; i < s.n; i++ {
+		var sum float64
+		for q := 0; q < order; q++ {
+			sum += gamma[q] * utils[q][c][i]
+		}
+		b[i] = m.B[i] * sum / cfg.Dt
+	}
+	if cfg.Forcing != nil {
+		for i := 0; i < s.n; i++ {
+			fx, fy, fz := cfg.Forcing(m.X[i], m.Y[i], m.Zc[i], tNew)
+			f := [3]float64{fx, fy, fz}
+			b[i] += m.B[i] * f[c]
+		}
+	}
+	if cfg.Scalar != nil && cfg.Scalar.Buoyancy[c] != 0 {
+		// Explicit extrapolated buoyancy from the subintegrated scalar.
+		for i := 0; i < s.n; i++ {
+			var sum float64
+			for q := 0; q < order; q++ {
+				sum += gamma[q] * tTil[q][i]
+			}
+			b[i] += m.B[i] * cfg.Scalar.Buoyancy[c] * sum / beta
+		}
+	}
+	gp := s.scr345
+	for i := range b {
+		b[i] += gp[c][i]
+	}
+	s.D.Assemble(b)
+}
+
+// finishViscousRHS subtracts the lifted-operator image from the assembled
+// RHS and applies the Dirichlet mask.
+func (s *Solver) finishViscousRHS(b, hu []float64) {
+	for i := range b {
+		b[i] -= hu[i]
+	}
+	if s.maskV != nil {
+		for i, mk := range s.maskV {
+			b[i] *= mk
+		}
+	}
+}
+
+// viscousOptions is the CG option set shared by the batched and
+// per-component velocity Helmholtz solves.
+func (s *Solver) viscousOptions() solver.Options {
+	return solver.Options{Tol: s.Cfg.VTol, Relative: true, MaxIter: 1000, Precond: s.jacobi,
+		Time: s.instr.viscousCG, Iters: s.instr.viscousIters, IterHist: s.instr.viscousIterH,
+		Tracer: s.tracer, TraceName: "helmholtz.cg", Scratch: s.cgScratch}
 }
 
 // setDirichletComponent writes the Dirichlet boundary value of component c.

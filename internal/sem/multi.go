@@ -1,0 +1,172 @@
+package sem
+
+// multi.go applies the stiffness/Helmholtz operators to several fields in
+// one element sweep — the multi-RHS form behind the batched velocity-
+// component solves. Batching pays twice: the element's geometric factors and
+// derivative matrices are loaded once for all columns, and the r-direction
+// tensor contraction becomes one wider C = U·Dᵀ product (the input columns
+// stack contiguously along MulABt's row dimension). Because every MulABt
+// kernel computes each output row as one sequential dot product, the wide
+// product is bitwise identical to the per-column calls — batching changes
+// speed, never fields. The s- (and 3D t-) direction contractions keep their
+// per-column slab structure, which is already identical by construction.
+
+import "repro/internal/tensor"
+
+// batchBuffers returns the number of nc·Np-sized scratch blocks one worker
+// needs for a batched stiffness application.
+func (d *Disc) batchBuffers() int {
+	if d.M.Dim == 3 {
+		return 8
+	}
+	return 6
+}
+
+// EnsureBatch sizes the per-worker batch scratch for up to nc simultaneous
+// right-hand sides, so later StiffnessLocalMulti/HelmholtzMulti calls
+// allocate nothing. Call at solver build; not concurrent-safe with running
+// operator applications.
+func (d *Disc) EnsureBatch(nc int) {
+	if nc <= d.batchCols {
+		return
+	}
+	d.batchCols = nc
+	d.batchScratch = make([][]float64, d.Workers)
+	for w := range d.batchScratch {
+		d.batchScratch[w] = make([]float64, d.batchBuffers()*nc*d.M.Np)
+	}
+	if d.stiffMultiLoop == nil {
+		d.stiffMultiLoop = func(e, w int) { d.stiffnessMultiOneElement(e, d.batchScratch[w]) }
+	}
+}
+
+// StiffnessLocalMulti applies the unassembled element stiffness to every
+// column: outs[c] = A us[c], one element sweep for all columns. Results are
+// bitwise identical to per-column StiffnessLocal calls.
+func (d *Disc) StiffnessLocalMulti(outs, us [][]float64) {
+	nc := len(us)
+	if nc == 1 {
+		d.StiffnessLocal(outs[0], us[0])
+		return
+	}
+	d.EnsureBatch(nc)
+	m := d.M
+	np1 := m.N + 1
+	np := m.Np
+	d.curMultiOuts, d.curMultiIns = outs, us
+	d.forElements(d.stiffMultiLoop)
+	d.curMultiOuts, d.curMultiIns = nil, nil
+	if m.Dim == 2 {
+		d.flops.Add(int64(nc) * int64(m.K) * (4*2*int64(np1)*int64(np1)*int64(np1) + 7*int64(np)))
+		return
+	}
+	n4 := int64(np1) * int64(np1) * int64(np1) * int64(np1)
+	d.flops.Add(int64(nc) * int64(m.K) * (12*n4 + 17*int64(np)))
+}
+
+// HelmholtzMulti applies outs[c] = M QQᵀ (h1·A + h2·B) us[c] for all columns
+// with one batched stiffness sweep; the pointwise mass term and the
+// gather-scatter assembly stay per column and match Helmholtz exactly.
+func (d *Disc) HelmholtzMulti(outs, us [][]float64, h1, h2 float64) {
+	d.StiffnessLocalMulti(outs, us)
+	b := d.M.B
+	for c := range outs {
+		out, u := outs[c], us[c]
+		if h1 != 1 {
+			for i := range out {
+				out[i] *= h1
+			}
+		}
+		for i := range out {
+			out[i] += h2 * b[i] * u[i]
+		}
+		d.flops.Add(3 * int64(len(out)))
+		d.Assemble(out)
+	}
+}
+
+// stiffnessMultiOneElement applies element e's stiffness to every current
+// input column using the worker's column-stacked scratch s (length
+// batchBuffers()·nc·Np).
+func (d *Disc) stiffnessMultiOneElement(e int, s []float64) {
+	m := d.M
+	np1 := m.N + 1
+	np := m.Np
+	ins, outs := d.curMultiIns, d.curMultiOuts
+	nc := len(ins)
+	cn := nc * np
+	if m.Dim == 2 {
+		ub, ob := s[:cn], s[cn:2*cn]
+		ur, us := s[2*cn:3*cn], s[3*cn:4*cn]
+		tr, ts := s[4*cn:5*cn], s[5*cn:6*cn]
+		for c, u := range ins {
+			copy(ub[c*np:(c+1)*np], u[e*np:(e+1)*np])
+		}
+		// One wide r-contraction over all columns (rows stack along ns).
+		tensor.ApplyR2D(ur, m.D, ub, np1, np1, np1*nc)
+		for c := 0; c < nc; c++ {
+			tensor.ApplyS2D(us[c*np:(c+1)*np], m.D, ub[c*np:(c+1)*np], np1, np1, np1)
+		}
+		g0, g1, g2 := m.G[0][e*np:], m.G[1][e*np:], m.G[2][e*np:]
+		for c := 0; c < nc; c++ {
+			urc, usc := ur[c*np:(c+1)*np], us[c*np:(c+1)*np]
+			trc, tsc := tr[c*np:(c+1)*np], ts[c*np:(c+1)*np]
+			for i := 0; i < np; i++ {
+				trc[i] = g0[i]*urc[i] + g1[i]*usc[i]
+				tsc[i] = g1[i]*urc[i] + g2[i]*usc[i]
+			}
+		}
+		tensor.ApplyR2D(ob, d.Dt, tr, np1, np1, np1*nc)
+		for c := 0; c < nc; c++ {
+			tensor.ApplyS2D(us[c*np:(c+1)*np], d.Dt, ts[c*np:(c+1)*np], np1, np1, np1)
+		}
+		for c, o := range outs {
+			oe := o[e*np : (e+1)*np]
+			obc, usc := ob[c*np:(c+1)*np], us[c*np:(c+1)*np]
+			for i := 0; i < np; i++ {
+				oe[i] = obc[i] + usc[i]
+			}
+		}
+		return
+	}
+	ub, ob := s[:cn], s[cn:2*cn]
+	ur, us, ut := s[2*cn:3*cn], s[3*cn:4*cn], s[4*cn:5*cn]
+	tr, ts, tt := s[5*cn:6*cn], s[6*cn:7*cn], s[7*cn:8*cn]
+	for c, u := range ins {
+		copy(ub[c*np:(c+1)*np], u[e*np:(e+1)*np])
+	}
+	// r: one wide MulABt (rows stack along ns·nt); s: the stacked field is
+	// nt·nc contiguous slabs, so one ApplyS3D call covers every column with
+	// the exact per-slab products of the serial path; t: per column (t is the
+	// slowest index, the stack breaks its layout).
+	tensor.ApplyR3D(ur, m.D, ub, np1, np1, np1, np1*nc)
+	tensor.ApplyS3D(us, m.D, ub, np1, np1, np1, np1*nc)
+	for c := 0; c < nc; c++ {
+		tensor.ApplyT3D(ut[c*np:(c+1)*np], m.D, ub[c*np:(c+1)*np], np1, np1, np1, np1)
+	}
+	g := m.G
+	off := e * np
+	for c := 0; c < nc; c++ {
+		urc, usc, utc := ur[c*np:(c+1)*np], us[c*np:(c+1)*np], ut[c*np:(c+1)*np]
+		trc, tsc, ttc := tr[c*np:(c+1)*np], ts[c*np:(c+1)*np], tt[c*np:(c+1)*np]
+		for i := 0; i < np; i++ {
+			r, sv, tv := urc[i], usc[i], utc[i]
+			trc[i] = g[0][off+i]*r + g[1][off+i]*sv + g[2][off+i]*tv
+			tsc[i] = g[1][off+i]*r + g[3][off+i]*sv + g[4][off+i]*tv
+			ttc[i] = g[2][off+i]*r + g[4][off+i]*sv + g[5][off+i]*tv
+		}
+	}
+	tensor.ApplyR3D(ob, d.Dt, tr, np1, np1, np1, np1*nc)
+	tensor.ApplyS3D(us, d.Dt, ts, np1, np1, np1, np1*nc)
+	for c := 0; c < nc; c++ {
+		tensor.ApplyT3D(ut[c*np:(c+1)*np], d.Dt, tt[c*np:(c+1)*np], np1, np1, np1, np1)
+	}
+	for c, o := range outs {
+		oe := o[e*np : (e+1)*np]
+		obc, usc, utc := ob[c*np:(c+1)*np], us[c*np:(c+1)*np], ut[c*np:(c+1)*np]
+		for i := 0; i < np; i++ {
+			// Association matches the serial `oe += us + ut`.
+			oe[i] = obc[i] + (usc[i] + utc[i])
+		}
+	}
+}

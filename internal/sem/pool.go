@@ -1,0 +1,104 @@
+package sem
+
+// pool.go implements the persistent element-loop worker pool behind
+// Disc.ForElements. The seed spawned W goroutines per call, which put the
+// scheduler on the per-step hot path (~25k allocs per channel step at W=4,
+// and W4 never beat W1). The pool instead keeps W-1 long-lived workers, each
+// pinned to one contiguous element chunk computed once at construction, and
+// wakes them with a buffered-channel send — allocation-free in steady state,
+// and deterministic: the (element, worker) assignment never depends on
+// scheduling, so disjoint-block loops produce bitwise-identical fields for
+// any worker count.
+
+import (
+	"runtime"
+	"sync"
+)
+
+// elemPool runs an element loop over fixed contiguous chunks. Worker 0 is
+// the calling goroutine; workers 1..len(chunks)-1 are long-lived goroutines
+// parked on their wake channel.
+type elemPool struct {
+	chunks [][2]int        // per-worker [e0, e1) element ranges
+	wake   []chan struct{} // one per extra worker (chunk index i+1)
+	stop   chan struct{}   // closed by the owning Disc's finalizer
+	wg     sync.WaitGroup
+	fn     func(e, w int) // current loop body; nil between runs
+}
+
+// newElemPool partitions k elements into up to `workers` contiguous chunks
+// and starts the extra workers. With fewer than two chunks the pool is inert
+// (run degenerates to a serial loop and no goroutines exist).
+func newElemPool(k, workers int) *elemPool {
+	p := &elemPool{stop: make(chan struct{})}
+	chunk := (k + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		e0 := w * chunk
+		e1 := e0 + chunk
+		if e1 > k {
+			e1 = k
+		}
+		if e0 >= e1 {
+			break
+		}
+		p.chunks = append(p.chunks, [2]int{e0, e1})
+	}
+	if len(p.chunks) > 1 {
+		p.wake = make([]chan struct{}, len(p.chunks)-1)
+		for i := range p.wake {
+			p.wake[i] = make(chan struct{}, 1)
+			go p.worker(p.wake[i], i+1)
+		}
+	}
+	return p
+}
+
+// worker is the long-lived loop of one extra worker. It captures only the
+// pool (never the Disc), so the Disc can become unreachable and its
+// finalizer can shut the pool down.
+func (p *elemPool) worker(wake chan struct{}, w int) {
+	e0, e1 := p.chunks[w][0], p.chunks[w][1]
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-wake:
+			fn := p.fn
+			for e := e0; e < e1; e++ {
+				fn(e, w)
+			}
+			p.wg.Done()
+		}
+	}
+}
+
+// run executes fn over all elements: the extra workers take chunks 1..W-1
+// while the caller runs chunk 0, then all join. The channel send/receive
+// pairs order the p.fn write before every worker read, and the WaitGroup
+// orders all worker writes before run returns. fn is cleared afterwards so
+// the pool retains no reference into the caller between runs.
+func (p *elemPool) run(fn func(e, w int)) {
+	p.fn = fn
+	p.wg.Add(len(p.wake))
+	for _, ch := range p.wake {
+		ch <- struct{}{}
+	}
+	for e, e1 := p.chunks[0][0], p.chunks[0][1]; e < e1; e++ {
+		fn(e, 0)
+	}
+	p.wg.Wait()
+	p.fn = nil
+}
+
+// parallel reports whether dispatching to the pool can help right now:
+// it needs extra workers and more than one scheduling slot. At
+// GOMAXPROCS=1 the chunks would run sequentially anyway, so the caller
+// inlines the serial loop and pays zero coordination overhead (results are
+// bitwise identical either way — the parallel path exists purely for speed).
+func (p *elemPool) parallel() bool {
+	return p != nil && len(p.wake) > 0 && runtime.GOMAXPROCS(0) > 1
+}
+
+// shutdown releases the workers. Registered as the owning Disc's finalizer;
+// safe to call at most once.
+func (p *elemPool) shutdown() { close(p.stop) }

@@ -11,6 +11,7 @@ package sem
 
 import (
 	"math"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -32,6 +33,7 @@ type Disc struct {
 
 	Dt      []float64 // transpose of the 1D derivative matrix
 	flops   atomic.Int64
+	pool    *elemPool   // persistent element-loop workers (nil when serial)
 	scratch [][]float64 // per-worker scratch, each 6*Np (2D) / 9*Np (3D)
 	// scratchPool hands out extra scratch slices (*[]float64, same size as
 	// the per-worker ones) to entry points that may run concurrently on one
@@ -50,6 +52,14 @@ type Disc struct {
 	curIn      []float64
 	curOuts    [][]float64
 	curFilter  *Filter
+
+	// Batched multi-RHS state (EnsureBatch / StiffnessLocalMulti): per-worker
+	// column-stacked scratch and the prebuilt loop body with its operands.
+	batchCols      int
+	batchScratch   [][]float64
+	stiffMultiLoop func(e, w int)
+	curMultiOuts   [][]float64
+	curMultiIns    [][]float64
 }
 
 // New builds the operator set. mask may be nil (pure Neumann / periodic).
@@ -81,6 +91,14 @@ func New(m *mesh.Mesh, mask []float64, workers int) *Disc {
 	d.filterLoop = func(e, w int) {
 		d.filterOneElement(d.curFilter, d.curIn, e, d.scratch[w])
 	}
+	if workers > 1 && m.K >= 2 {
+		d.pool = newElemPool(m.K, workers)
+		// The workers reference only the pool, never the Disc, and every
+		// prebuilt loop body is cleared from p.fn between runs — so when the
+		// Disc becomes unreachable this finalizer fires and parks the
+		// goroutines for collection.
+		runtime.SetFinalizer(d, func(dd *Disc) { dd.pool.shutdown() })
+	}
 	return d
 }
 
@@ -101,35 +119,18 @@ func (d *Disc) CountFlops(n int64) { d.flops.Add(n) }
 // own element's output are deterministic for any worker count.
 func (d *Disc) ForElements(fn func(e, w int)) { d.forElements(fn) }
 
-// forElements is the internal form of ForElements.
+// forElements is the internal form of ForElements: dispatch to the
+// persistent pool when it can actually run chunks concurrently, else the
+// plain serial loop (worker id 0). Both orders produce identical fields for
+// the disjoint-block loops this drives, so the choice is pure speed.
 func (d *Disc) forElements(fn func(e, w int)) {
-	k := d.M.K
-	if d.Workers == 1 || k < 2 {
-		for e := 0; e < k; e++ {
-			fn(e, 0)
-		}
+	if d.pool.parallel() {
+		d.pool.run(fn)
 		return
 	}
-	var wg sync.WaitGroup
-	chunk := (k + d.Workers - 1) / d.Workers
-	for w := 0; w < d.Workers; w++ {
-		e0 := w * chunk
-		e1 := e0 + chunk
-		if e1 > k {
-			e1 = k
-		}
-		if e0 >= e1 {
-			break
-		}
-		wg.Add(1)
-		go func(e0, e1, w int) {
-			defer wg.Done()
-			for e := e0; e < e1; e++ {
-				fn(e, w)
-			}
-		}(e0, e1, w)
+	for e, k := 0, d.M.K; e < k; e++ {
+		fn(e, 0)
 	}
-	wg.Wait()
 }
 
 // StiffnessLocal applies the unassembled element stiffness matrices:

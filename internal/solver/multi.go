@@ -1,0 +1,270 @@
+package solver
+
+// multi.go solves several right-hand sides against one operator in lockstep:
+// every CG iteration applies the operator to all still-active columns in a
+// single batched sweep (MultiOperator), amortizing the operator's element
+// sweep and memory traffic across columns — the multi-RHS batching of the
+// velocity-component Helmholtz solves. Each column's iteration arithmetic
+// (dots, alpha/beta updates, tolerance and breakdown/divergence exits,
+// best-iterate restore) is exactly CG's, touching only that column's
+// vectors, so a CGMulti solve is bitwise identical to running CG per column
+// whenever the batched operator is bitwise identical per column (which
+// sem.HelmholtzMulti guarantees). Columns converge independently: a retired
+// column simply drops out of later sweeps.
+
+import (
+	"math"
+
+	"repro/internal/instrument"
+)
+
+// MultiOperator applies one linear operator to several columns in a single
+// sweep: outs[c] = A·ins[c]. outs[c] never aliases ins[c]. The number of
+// columns varies between calls (columns retire as they converge).
+type MultiOperator func(outs, ins [][]float64)
+
+// MultiScratch carries the per-column work vectors and iteration state of
+// CGMulti so repeated batched solves (one per time step) allocate nothing.
+// A MultiScratch must not be shared by solves running concurrently.
+type MultiScratch struct {
+	cols  []multiCol
+	outs  [][]float64 // active-column headers for the batched operator call
+	ins   [][]float64
+	idx   []int // column index behind each active header
+	stats []Stats
+}
+
+// multiCol is one column's CG state: the standard work vectors plus the
+// scalars cg() keeps in locals.
+type multiCol struct {
+	r, z, p, q, xb []float64
+	res, best      float64
+	rz, tol        float64
+	active         bool
+}
+
+// ensure sizes the scratch for nc columns of length n.
+func (ms *MultiScratch) ensure(nc, n int) {
+	if cap(ms.cols) < nc {
+		ms.cols = make([]multiCol, nc)
+		ms.outs = make([][]float64, 0, nc)
+		ms.ins = make([][]float64, 0, nc)
+		ms.idx = make([]int, 0, nc)
+		ms.stats = make([]Stats, nc)
+	}
+	ms.cols = ms.cols[:nc]
+	ms.stats = ms.stats[:nc]
+	for c := range ms.cols {
+		col := &ms.cols[c]
+		if cap(col.r) < n {
+			col.r = make([]float64, n)
+			col.z = make([]float64, n)
+			col.p = make([]float64, n)
+			col.q = make([]float64, n)
+			col.xb = make([]float64, n)
+		}
+		col.r, col.z, col.p = col.r[:n], col.z[:n], col.p[:n]
+		col.q, col.xb = col.q[:n], col.xb[:n]
+	}
+}
+
+// CGMulti solves A xs[c] = bs[c] for all columns simultaneously, one batched
+// operator sweep per iteration. opt applies to every column (the
+// preconditioner is called per column); the instrumentation handles observe
+// each column's solve exactly as a separate CG call would. The returned
+// slice aliases ms and is valid until the next CGMulti call on the same
+// scratch.
+func CGMulti(apply MultiOperator, dot Dot, xs, bs [][]float64, opt Options, ms *MultiScratch) []Stats {
+	t0 := opt.Time.Begin()
+	var sp instrument.Span
+	if opt.Tracer != nil {
+		name := opt.TraceName
+		if name == "" {
+			name = "cg.multi"
+		}
+		sp = opt.Tracer.Begin(instrument.PidWall, 0, name, "solver")
+	}
+	sts := cgMulti(apply, dot, xs, bs, opt, ms)
+	if opt.Tracer != nil {
+		total := 0
+		all := true
+		for c := range sts {
+			total += sts[c].Iterations
+			all = all && sts[c].Converged
+		}
+		sp.EndWith(map[string]any{
+			"columns":    len(sts),
+			"iterations": total,
+			"converged":  all,
+		})
+	}
+	opt.Time.End(t0)
+	for c := range sts {
+		opt.Iters.Add(int64(sts[c].Iterations))
+		opt.IterHist.Observe(float64(sts[c].Iterations))
+		if sts[c].Converged {
+			opt.Converged.Set(1)
+		} else {
+			opt.Converged.Set(0)
+		}
+	}
+	return sts
+}
+
+func cgMulti(apply MultiOperator, dot Dot, xs, bs [][]float64, opt Options, ms *MultiScratch) []Stats {
+	nc := len(bs)
+	n := len(bs[0])
+	ms.ensure(nc, n)
+	sts := ms.stats
+	for c := range sts {
+		sts[c] = Stats{}
+	}
+
+	// Initial residuals r = b - A x, the operator applied in one batched
+	// sweep to the columns whose start vector is nonzero.
+	ms.outs, ms.ins, ms.idx = ms.outs[:0], ms.ins[:0], ms.idx[:0]
+	for c := range bs {
+		col := &ms.cols[c]
+		nonzero := false
+		for _, v := range xs[c] {
+			if v != 0 {
+				nonzero = true
+				break
+			}
+		}
+		if nonzero {
+			ms.outs = append(ms.outs, col.q)
+			ms.ins = append(ms.ins, xs[c])
+			ms.idx = append(ms.idx, c)
+		} else {
+			copy(col.r, bs[c])
+		}
+	}
+	if len(ms.ins) > 0 {
+		apply(ms.outs, ms.ins)
+		for _, c := range ms.idx {
+			col := &ms.cols[c]
+			for i := range col.r {
+				col.r[i] = bs[c][i] - col.q[i]
+			}
+		}
+	}
+	nActive := 0
+	for c := range bs {
+		col := &ms.cols[c]
+		col.tol = opt.Tol
+		if opt.Relative {
+			col.tol *= math.Sqrt(dot(bs[c], bs[c]))
+		}
+		col.res = math.Sqrt(dot(col.r, col.r))
+		sts[c].InitialRes = col.res
+		if opt.History {
+			sts[c].ResHist = append(sts[c].ResHist, col.res)
+		}
+		if col.res <= col.tol {
+			col.active = false
+			sts[c].Converged = true
+			sts[c].FinalRes = col.res
+			continue
+		}
+		col.active = true
+		nActive++
+	}
+	if nActive == 0 {
+		return sts
+	}
+	precond := opt.Precond
+	if precond == nil {
+		precond = func(out, in []float64) { copy(out, in) }
+	}
+	for c := range bs {
+		col := &ms.cols[c]
+		if !col.active {
+			continue
+		}
+		precond(col.z, col.r)
+		copy(col.p, col.z)
+		col.rz = dot(col.r, col.z)
+		// Best-iterate restore per column, exactly as cg() (see the comment
+		// there on the roundoff-floor failure mode it guards against).
+		col.best = col.res
+		copy(col.xb, xs[c])
+	}
+	maxIter := opt.MaxIter
+	if maxIter <= 0 {
+		maxIter = n
+	}
+	for it := 1; it <= maxIter && nActive > 0; it++ {
+		// One operator sweep over the still-active columns.
+		ms.outs, ms.ins, ms.idx = ms.outs[:0], ms.ins[:0], ms.idx[:0]
+		for c := range bs {
+			col := &ms.cols[c]
+			if col.active {
+				ms.outs = append(ms.outs, col.q)
+				ms.ins = append(ms.ins, col.p)
+				ms.idx = append(ms.idx, c)
+			}
+		}
+		apply(ms.outs, ms.ins)
+		for _, c := range ms.idx {
+			col := &ms.cols[c]
+			x := xs[c]
+			pq := dot(col.p, col.q)
+			if pq <= 0 {
+				// Operator not SPD on this subspace (or breakdown): stop.
+				sts[c].Iterations = it - 1
+				sts[c].FinalRes = col.best
+				copy(x, col.xb)
+				col.active = false
+				nActive--
+				continue
+			}
+			alpha := col.rz / pq
+			for i := range x {
+				x[i] += alpha * col.p[i]
+				col.r[i] -= alpha * col.q[i]
+			}
+			col.res = math.Sqrt(dot(col.r, col.r))
+			if opt.History {
+				sts[c].ResHist = append(sts[c].ResHist, col.res)
+			}
+			if col.res <= col.tol {
+				sts[c].Iterations = it
+				sts[c].Converged = true
+				sts[c].FinalRes = col.res
+				col.active = false
+				nActive--
+				continue
+			}
+			if col.res < col.best {
+				col.best = col.res
+				copy(col.xb, x)
+			} else if !(col.res <= 1e4*col.best) {
+				// Diverging in roundoff: hand back the best iterate.
+				sts[c].Iterations = it
+				sts[c].FinalRes = col.best
+				copy(x, col.xb)
+				col.active = false
+				nActive--
+				continue
+			}
+			precond(col.z, col.r)
+			rz2 := dot(col.r, col.z)
+			beta := rz2 / col.rz
+			col.rz = rz2
+			for i := range col.p {
+				col.p[i] = col.z[i] + beta*col.p[i]
+			}
+		}
+	}
+	for c := range bs {
+		col := &ms.cols[c]
+		if col.active {
+			sts[c].Iterations = maxIter
+			sts[c].FinalRes = col.best
+			copy(xs[c], col.xb)
+			col.active = false
+		}
+	}
+	return sts
+}

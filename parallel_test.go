@@ -1,0 +1,78 @@
+package repro_test
+
+import (
+	"runtime"
+	"runtime/debug"
+	"testing"
+	"time"
+)
+
+// drainPoolFinalizers runs pending finalizers now. Discretizations with
+// workers>1 register one to stop their element pool, so earlier tests'
+// discarded solvers hold queued finalizers whose one-time runtime setup
+// (the finalizer goroutine and its argument frame) allocates; letting
+// that fire inside an AllocsPerRun or MemStats window is a spurious
+// failure. The sentinel finalizer proves the queue has been serviced;
+// GC must be re-forced in a loop because one cycle only queues the
+// sentinel and the next cycle may never come — with debug.SetGCPercent(-1)
+// in effect, blocking on a single runtime.GC() deadlocks (and with GC on,
+// it stalls until the runtime's 2-minute forced-GC tick).
+func drainPoolFinalizers() {
+	done := make(chan struct{})
+	runtime.SetFinalizer(new(int), func(*int) { close(done) })
+	for i := 0; i < 100; i++ {
+		runtime.GC()
+		select {
+		case <-done:
+			return
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+// Three channel steps at workers=4 under forced GOMAXPROCS(4): every
+// element loop dispatches through the persistent pool, so the race
+// detector sees the full arena protocol — the caller's fn publish, the
+// per-worker wakeup sends, disjoint writes into per-worker scratch and
+// element blocks, and the WaitGroup join back to the caller. Deliberately
+// not skipped under -short: this is the one stepper test the tier-2
+// -race -short sweep must always exercise.
+func TestWorkerPoolStepRace(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	s := channelSolver(t, 4)
+	stepN(t, s, 3)
+}
+
+// Steady-state zero-alloc regression for the workers=4 step, measured as
+// a MemStats delta with GC pinned off. testing.AllocsPerRun cannot see
+// this path: it forces GOMAXPROCS(1) for the measured window, which flips
+// the pool into its serial fallback, so only a raw Mallocs delta counts
+// what the parallel dispatch itself costs. Warm-up matches the benchmark
+// protocol (BDF ramp plus one full projection cycle); after it, the wakeup
+// channels, chunk table, and per-worker arenas are all preallocated and
+// the delta over 8 further steps must be exactly zero.
+func TestWorkerStepSteadyStateZeroAlloc(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second warm-up")
+	}
+	if raceEnabled {
+		t.Skip("the race runtime allocates for its own bookkeeping")
+	}
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	s := channelSolver(t, 4)
+	stepN(t, s, 24)
+	// The drain's forced GCs empty the sync.Pool-backed element scratch, so
+	// re-warm a couple of steps to repopulate it before the measured window
+	// (GC stays off, so nothing empties it again).
+	drainPoolFinalizers()
+	stepN(t, s, 2)
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	stepN(t, s, 8)
+	runtime.ReadMemStats(&m1)
+	if d := m1.Mallocs - m0.Mallocs; d > 0 {
+		t.Errorf("workers=4 steady-state steps allocated %d times over 8 steps, want 0", d)
+	}
+}

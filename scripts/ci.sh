@@ -13,7 +13,9 @@
 #           fault-injected, and checkpoint/restart paths, scrape the live
 #           -listen endpoint mid-run, and walk the P=256 trace's critical
 #           path
-#   bench   benchmark harness, one iteration per benchmark + artifact check
+#   bench   benchmark harness, one iteration per benchmark (including the
+#           -cpu 1,4 worker sweep) + artifact check + the zero-allocs/op
+#           gate on the serial and workers=4 steady-state channel steps
 #
 # Usage: scripts/ci.sh [tier1|tier2|static|smoke|bench|all]   (default all)
 #
