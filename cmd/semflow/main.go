@@ -35,6 +35,7 @@ import (
 	"repro/internal/la"
 	"repro/internal/ns"
 	"repro/internal/parrun"
+	"repro/internal/session"
 )
 
 func main() {
@@ -97,34 +98,40 @@ func main() {
 		log.Fatal("-faults/-checkpoint/-resume apply to the distributed stepper: add -ranks P")
 	}
 
-	var s *ns.Solver
-	var err error
 	switch *caseName {
-	case "shearlayer":
-		s, err = flowcases.ShearLayer(flowcases.ShearLayerConfig{
-			Nel: *nel, N: *n, Rho: 30, Re: 1e5, Dt: 0.002, Alpha: *alpha, Workers: *workers,
-		})
-	case "channel":
-		s, _, err = flowcases.Channel(flowcases.ChannelConfig{
-			Re: 7500, Alpha: 1, N: *n, Dt: 0.003125, Order: 2, Filter: *alpha, Workers: *workers,
-			KX: *kx, KY: *ky,
-		})
-	case "convection":
-		s, err = flowcases.Convection(flowcases.ConvectionConfig{
-			Nel: *nel, N: *n, Ra: 1e4, Dt: 0.002, ProjectionL: *l, Workers: *workers,
-		})
-	case "hairpin":
-		s, err = flowcases.Hairpin(flowcases.HairpinConfig{
-			Nx: 6, Ny: 4, Nz: 3, N: *n, Re: 1600, Dt: 0.05,
-			Workers: *workers, FilterA: *alpha, ProjL: *l,
-		})
+	case "shearlayer", "channel", "convection", "hairpin":
 	default:
 		fmt.Fprintf(os.Stderr, "unknown case %q\n", *caseName)
 		os.Exit(2)
 	}
+
+	// The serial path goes through the session API — the same code path
+	// semflowd multiplexes — with OnStep carrying the per-step report.
+	cfg := session.Config{
+		Case: *caseName, Steps: *steps, N: *n, Nel: *nel, KX: *kx, KY: *ky,
+		Alpha: *alpha, ProjectionL: *l, Workers: *workers,
+		Trace: *traceOut != "",
+	}
+	var sess *session.Session // assigned below; OnStep only fires during StepN
+	nonconverged := 0
+	cfg.OnStep = func(st ns.StepStats) {
+		if !st.PressureConverged {
+			nonconverged++
+			slog.Warn("pressure solve hit the iteration cap",
+				"step", st.Step, "iters", st.PressureIters, "res", st.PressureResFinal)
+		}
+		if st.Step%*every == 0 {
+			fmt.Printf("%6d %9.4f %6.2f %8d %8d %8d %12.5e\n",
+				st.Step, st.Time, st.CFL, st.PressureIters, st.HelmholtzIters[0],
+				st.ProjectionBasis, flowcases.KineticEnergy(sess.Solver()))
+		}
+	}
+	sess, err := session.Create(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer sess.Close()
+	s := sess.Solver()
 	switch {
 	case *autotuneCache != "":
 		if dt, err := la.LoadCache(*autotuneCache); err == nil {
@@ -152,34 +159,21 @@ func main() {
 			fmt.Printf("  %s\n", r)
 		}
 	}
-	var reg *instrument.Registry
-	if *stats || *statsJSON || *listen != "" {
-		reg = instrument.New()
-		reg.SetMeta(instrument.RunMeta{
-			Case: *caseName, Elements: s.M.K, Order: s.M.N, Steps: *steps,
-			Workers: *workers, TraceSample: *traceSample,
-		})
-		s.AttachMetrics(reg)
-	}
-	var tracer *instrument.Tracer
-	if *traceOut != "" {
-		tracer = instrument.NewTracer()
+	reg := sess.Registry()
+	reg.SetMeta(instrument.RunMeta{
+		Case: *caseName, Elements: s.M.K, Order: s.M.N, Steps: *steps,
+		Workers: *workers, TraceSample: *traceSample,
+	})
+	tracer := sess.Tracer()
+	if tracer != nil {
 		if picked := strideSample(*traceRanks, *traceSample); picked != nil {
 			tracer.SampleVRanks(picked)
 		}
-		s.AttachTracer(tracer)
 	}
-	var prog *instrument.Progress
 	var obs *instrument.Server
 	if *listen != "" {
-		prog = instrument.NewProgress()
-		obs = startServe(*listen, reg, prog)
+		obs = startServe(*listen, reg, sess.Progress())
 		defer obs.Close()
-	}
-	var history *instrument.TimeSeries
-	if *historyOut != "" {
-		history = instrument.NewTimeSeries()
-		s.AttachHistory(history)
 	}
 	fmt.Printf("case=%s  K=%d  N=%d  dofs/component=%d  workers=%d\n",
 		*caseName, s.M.K, s.M.N, s.M.K*s.M.Np, *workers)
@@ -187,27 +181,8 @@ func main() {
 		"step", "t", "CFL", "p-iters", "h-iters", "basis", "KE")
 	d := s.Disc()
 	d.ResetFlops()
-	nonconverged := 0
-	for i := 1; i <= *steps; i++ {
-		st, err := s.Step()
-		if err != nil {
-			log.Fatalf("step %d: %v", i, err)
-		}
-		if !st.PressureConverged {
-			nonconverged++
-			slog.Warn("pressure solve hit the iteration cap",
-				"step", i, "iters", st.PressureIters, "res", st.PressureResFinal)
-		}
-		prog.Update(instrument.ProgressSnapshot{
-			Case: *caseName, Step: i, TotalSteps: *steps, Time: s.Time(),
-			CFL: st.CFL, PressureIters: st.PressureIters,
-			PressureRes: st.PressureResFinal, Converged: st.PressureConverged,
-		})
-		if i%*every == 0 {
-			fmt.Printf("%6d %9.4f %6.2f %8d %8d %8d %12.5e\n",
-				i, s.Time(), st.CFL, st.PressureIters, st.HelmholtzIters[0],
-				st.ProjectionBasis, flowcases.KineticEnergy(s))
-		}
+	if _, err := sess.StepN(*steps); err != nil {
+		log.Fatalf("step %d: %v", sess.Step()+1, err)
 	}
 	if nonconverged > 0 {
 		slog.Warn("pressure solve did not converge on some steps",
@@ -241,7 +216,8 @@ func main() {
 		fmt.Printf("wrote %d trace events to %s (load in https://ui.perfetto.dev)\n",
 			tracer.Len(), *traceOut)
 	}
-	if history != nil {
+	if *historyOut != "" {
+		history := sess.History()
 		f, err := os.Create(*historyOut)
 		if err != nil {
 			log.Fatalf("history: %v", err)
@@ -254,7 +230,7 @@ func main() {
 		}
 		fmt.Printf("wrote %d per-step telemetry records to %s\n", history.Len(), *historyOut)
 	}
-	if reg != nil && (*stats || *statsJSON) {
+	if *stats || *statsJSON {
 		rep := reg.Report()
 		if *statsJSON {
 			j, err := rep.JSON()
@@ -266,7 +242,7 @@ func main() {
 			fmt.Printf("\n%s", rep.String())
 		}
 	}
-	finishServe(obs, prog, *linger)
+	finishServe(obs, sess.Progress(), *linger)
 	if *memprofile != "" {
 		f, err := os.Create(*memprofile)
 		if err != nil {

@@ -18,6 +18,7 @@ func channelSolver(t testing.TB, workers int) *ns.Solver {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(s.Close)
 	return s
 }
 

@@ -25,6 +25,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer s.Close()
 	fmt.Printf("convection cell: %dx%d elements, N=%d, Ra=%g, projection L=%d\n",
 		*nel, *nel, *n, *ra, *l)
 	fmt.Printf("%6s %12s %12s %14s %12s\n", "step", "KE", "p-iters", "res before CG", "basis")

@@ -27,6 +27,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer s.Close()
 	fmt.Printf("double shear layer: %dx%d elements, N=%d, alpha=%g\n", *nel, *nel, *n, *alpha)
 	for i := 1; i <= *steps; i++ {
 		st, err := s.Step()

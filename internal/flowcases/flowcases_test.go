@@ -128,6 +128,7 @@ func TestHairpinBoxRuns(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer s.Close()
 	var prevIters int
 	for i := 0; i < 3; i++ {
 		st, err := s.Step()

@@ -141,6 +141,46 @@ type Server struct {
 	srv  *http.Server
 }
 
+// MetricsHandler serves reg as Prometheus text exposition — the /metrics
+// payload of Serve, reusable under any mux (semflowd mounts one per
+// session). The registry may be updated concurrently; the handler
+// snapshots it under the package's usual locks.
+func MetricsHandler(reg *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := WritePrometheus(w, reg.Report()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}
+
+// ProgressHandler serves prog as the /progress JSON snapshot, reusable
+// under any mux.
+func ProgressHandler(prog *Progress) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		data, err := json.MarshalIndent(prog.Snapshot(), "", "  ")
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Write(data)
+	})
+}
+
+// StatsHandler serves reg's full Report as JSON (the /stats payload).
+func StatsHandler(reg *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		data, err := reg.Report().JSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Write(data)
+	})
+}
+
 // Serve starts an HTTP server on addr (host:port; port 0 picks a free
 // port) exposing /metrics, /progress, and /debug/pprof/*. It returns once
 // the listener is bound; requests are served on a background goroutine
@@ -152,30 +192,9 @@ func Serve(addr string, reg *Registry, prog *Progress) (*Server, error) {
 		return nil, fmt.Errorf("instrument: listen %s: %w", addr, err)
 	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		if err := WritePrometheus(w, reg.Report()); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-		}
-	})
-	mux.HandleFunc("/progress", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		data, err := json.MarshalIndent(prog.Snapshot(), "", "  ")
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-			return
-		}
-		w.Write(data)
-	})
-	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		data, err := reg.Report().JSON()
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-			return
-		}
-		w.Write(data)
-	})
+	mux.Handle("/metrics", MetricsHandler(reg))
+	mux.Handle("/progress", ProgressHandler(prog))
+	mux.Handle("/stats", StatsHandler(reg))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

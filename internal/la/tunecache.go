@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 )
@@ -53,6 +54,13 @@ type cacheEntry struct {
 // SaveCache writes dt's pinned shapes to path as JSON under this machine's
 // CacheKey. Only non-default entries are stored, so the file stays a few
 // dozen lines regardless of the table's in-memory size.
+//
+// The write is atomic (unique temp file in the target directory, fsync,
+// rename): concurrent semflowd sessions may autotune and save at once, and
+// a direct os.WriteFile could interleave or be cut short, tearing the JSON
+// — which LoadCache would then reject, silently forcing a re-tune on every
+// later run. With rename, readers see either the old table or the new one,
+// never a mix.
 func SaveCache(path string, dt *DispatchTable) error {
 	f := cacheFile{Key: CacheKey()}
 	for i, v := range dt.mul {
@@ -69,7 +77,39 @@ func SaveCache(path string, dt *DispatchTable) error {
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(b, '\n'), 0o644)
+	b = append(b, '\n')
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	tf, err := os.CreateTemp(dir, base+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("la: tune cache: %w", err)
+	}
+	tmp := tf.Name()
+	fail := func(err error) error {
+		tf.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("la: tune cache: %w", err)
+	}
+	if _, err := tf.Write(b); err != nil {
+		return fail(err)
+	}
+	if err := tf.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := tf.Chmod(0o644); err != nil {
+		return fail(err)
+	}
+	if err := tf.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("la: tune cache: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("la: tune cache: %w", err)
+	}
+	return nil
 }
 
 func cacheShape(i int) [3]int {

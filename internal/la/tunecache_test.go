@@ -6,7 +6,9 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 )
 
 func TestTuneCacheRoundTrip(t *testing.T) {
@@ -89,4 +91,93 @@ func mustJSON(s string) []byte {
 		panic(err)
 	}
 	return b
+}
+
+// TestSaveCacheAtomicUnderConcurrency is the torn-write regression test:
+// with the old non-atomic SaveCache (a plain WriteFile over the live
+// path), concurrent semflowd sessions saving the autotune cache while
+// others load it could observe interleaved or truncated JSON, which
+// LoadCache rejects — silently forcing a re-tune on every later run. With
+// the temp-file + rename write, every load must observe a complete,
+// parseable table.
+func TestSaveCacheAtomicUnderConcurrency(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "tune.json")
+
+	// Two distinguishable tables; any loaded file must be exactly one of
+	// them, never a mixture or a parse failure.
+	dtA := &DispatchTable{}
+	dtA.SetMul(4, 4, 4, KernelNaive)
+	dtB := &DispatchTable{}
+	dtB.SetMul(4, 4, 4, KernelNaive)
+	dtB.SetMul(6, 6, 6, KernelNaive)
+
+	if err := SaveCache(path, dtA); err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	errs := make(chan error, 4)
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			dt := dtA
+			if w == 1 {
+				dt = dtB
+			}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := SaveCache(path, dt); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	deadline := time.Now().Add(500 * time.Millisecond)
+	loads := 0
+	for time.Now().Before(deadline) {
+		dt, err := LoadCache(path)
+		if err != nil {
+			close(stop)
+			wg.Wait()
+			t.Fatalf("load %d observed a torn cache: %v", loads, err)
+		}
+		nMul := 0
+		for _, v := range dt.mul {
+			if v != 0 {
+				nMul++
+			}
+		}
+		if nMul != 1 && nMul != 2 {
+			close(stop)
+			wg.Wait()
+			t.Fatalf("load %d observed a mixed table with %d mul entries", loads, nMul)
+		}
+		loads++
+	}
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if loads == 0 {
+		t.Fatal("reader never ran")
+	}
+	// The writers must not leave temp litter behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() != "tune.json" {
+			t.Fatalf("leftover temp file %s", e.Name())
+		}
+	}
 }

@@ -1,0 +1,115 @@
+package ns
+
+import (
+	"bytes"
+	"testing"
+)
+
+// checkpointSolver builds a small shear-layer-like periodic problem with
+// projection and a filter on, so the checkpoint covers every piece of
+// cross-step state: BDF history, projection basis, cached diagonals.
+func checkpointSolver(t *testing.T) *Solver {
+	t.Helper()
+	m := periodicBox(t, 4, 5)
+	s, err := New(Config{
+		Mesh: m, Re: 1e4, Dt: 0.002, Order: 2,
+		FilterAlpha: 0.2, ProjectionL: 8, PTol: 1e-7, Workers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetVelocity(func(x, y, z float64) (float64, float64, float64) {
+		return 0.3 + 0.1*x*(1-x), 0.05 * y * (1 - y), 0
+	})
+	return s
+}
+
+func stepStats(t *testing.T, s *Solver, n int) []StepStats {
+	t.Helper()
+	out := make([]StepStats, 0, n)
+	for i := 0; i < n; i++ {
+		st, err := s.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// TestCheckpointResumeBitwise is the serial analogue of parrun's restart
+// guarantee: run A steps 4+4 through a gob-round-tripped checkpoint into a
+// fresh solver, run B steps 8 uninterrupted, and every per-step statistic
+// and final field must match bitwise.
+func TestCheckpointResumeBitwise(t *testing.T) {
+	solo := checkpointSolver(t)
+	defer solo.Close()
+	soloStats := stepStats(t, solo, 8)
+
+	a := checkpointSolver(t)
+	firstStats := stepStats(t, a, 4)
+	var buf bytes.Buffer
+	if err := a.Checkpoint().Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+
+	ck, err := ReadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := checkpointSolver(t)
+	defer b.Close()
+	if err := b.Restore(ck); err != nil {
+		t.Fatal(err)
+	}
+	if b.StepCount() != 4 || b.Time() != a.Time() {
+		t.Fatalf("restored step/time %d/%g, want 4/%g", b.StepCount(), b.Time(), a.Time())
+	}
+	resumedStats := append(firstStats, stepStats(t, b, 4)...)
+
+	for i := range soloStats {
+		if soloStats[i] != resumedStats[i] {
+			t.Fatalf("step %d stats differ:\nsolo    %+v\nresumed %+v", i+1, soloStats[i], resumedStats[i])
+		}
+	}
+	for c := 0; c < 2; c++ {
+		us, ur := solo.Velocity(c), b.Velocity(c)
+		for i := range us {
+			if us[i] != ur[i] {
+				t.Fatalf("velocity[%d][%d] differs after resume: %g vs %g", c, i, us[i], ur[i])
+			}
+		}
+	}
+	ps, pr := solo.Pressure(), b.Pressure()
+	for i := range ps {
+		if ps[i] != pr[i] {
+			t.Fatalf("pressure[%d] differs after resume: %g vs %g", i, ps[i], pr[i])
+		}
+	}
+}
+
+// TestCheckpointShapeGuard: a snapshot must refuse to restore onto a
+// different problem.
+func TestCheckpointShapeGuard(t *testing.T) {
+	s := checkpointSolver(t)
+	defer s.Close()
+	stepStats(t, s, 2)
+	ck := s.Checkpoint()
+
+	m := periodicBox(t, 3, 5) // different element count
+	other, err := New(Config{Mesh: m, Re: 1e4, Dt: 0.002, Order: 2, ProjectionL: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer other.Close()
+	if err := other.Restore(ck); err == nil {
+		t.Fatal("Restore accepted a snapshot from a different mesh")
+	}
+
+	ck2 := s.Checkpoint()
+	ck2.Version = 99
+	if err := s.Restore(ck2); err == nil {
+		t.Fatal("Restore accepted a wrong-version snapshot")
+	}
+}

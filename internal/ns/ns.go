@@ -541,6 +541,20 @@ func (s *Solver) helmholtzDiagS(h1, h2 float64) []float64 {
 	return s.helmDiagS
 }
 
+// Close releases the solver's element-loop worker pools (velocity,
+// pressure-preconditioning, and scalar grids). It is idempotent, must not
+// run concurrently with Step, and a closed solver keeps stepping correctly
+// — just serially. Long-lived processes that build many solvers (the
+// session service) must call Close when one is retired; the sem finalizer
+// is only a GC-timed backstop.
+func (s *Solver) Close() {
+	s.D.Close()
+	s.DN.Close()
+	if s.DS != nil {
+		s.DS.Close()
+	}
+}
+
 // Time returns the current simulation time.
 func (s *Solver) Time() float64 { return s.time }
 

@@ -229,6 +229,7 @@ func TestWorkersSameAnswer(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		defer s.Close()
 		s.SetVelocity(func(x, y, z float64) (float64, float64, float64) {
 			return math.Sin(2 * math.Pi * x), math.Cos(2 * math.Pi * y), 0
 		})

@@ -68,17 +68,34 @@ func checkpointPath(dir string, step int) string {
 	return filepath.Join(dir, fmt.Sprintf("ckpt-%06d.gob", step))
 }
 
-// WriteFile atomically serializes the checkpoint (temp file + rename).
+// WriteFile atomically serializes the checkpoint: a uniquely named temp
+// file in the target directory, fsync'd before the rename. The fsync
+// matters — rename alone orders the directory entry, not the data, so a
+// crash shortly after an unsynced rename can leave an empty or truncated
+// "atomic" snapshot. The unique temp name (os.CreateTemp) matters too: the
+// old fixed path+".tmp" collided when two sessions checkpointed the same
+// step into a shared directory, each clobbering the other's half-written
+// temp file.
 func (c *Checkpoint) WriteFile(path string) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	f, err := os.CreateTemp(dir, base+".tmp-*")
 	if err != nil {
 		return fmt.Errorf("checkpoint: %w", err)
 	}
-	if err := gob.NewEncoder(f).Encode(c); err != nil {
+	tmp := f.Name()
+	fail := func(op string, err error) error {
 		f.Close()
 		os.Remove(tmp)
-		return fmt.Errorf("checkpoint: encode: %w", err)
+		return fmt.Errorf("checkpoint: %s: %w", op, err)
+	}
+	if err := gob.NewEncoder(f).Encode(c); err != nil {
+		return fail("encode", err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail("sync", err)
 	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
@@ -87,6 +104,11 @@ func (c *Checkpoint) WriteFile(path string) error {
 	if err := os.Rename(tmp, path); err != nil {
 		os.Remove(tmp)
 		return fmt.Errorf("checkpoint: %w", err)
+	}
+	// Best-effort directory sync so the rename itself survives a crash.
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
 	}
 	return nil
 }

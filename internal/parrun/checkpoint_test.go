@@ -1,7 +1,11 @@
 package parrun
 
 import (
+	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/fault"
@@ -196,5 +200,68 @@ func TestCheckpointValidation(t *testing.T) {
 	}
 	if path, err := LatestCheckpoint("/does/not/exist"); err != nil || path != "" {
 		t.Errorf("missing dir: path %q, err %v", path, err)
+	}
+}
+
+// TestCheckpointWriteSharedDir is the regression test for the fixed-name
+// temp-file collision: with the old path+".tmp" scheme, two sessions
+// checkpointing the same step number into one directory raced on the same
+// temp file and could rename each other's half-written bytes into place.
+// With unique temp names every concurrently written snapshot must load
+// back intact.
+func TestCheckpointWriteSharedDir(t *testing.T) {
+	dir := t.TempDir()
+	mk := func(step, marker int) *Checkpoint {
+		return &Checkpoint{
+			Version: CheckpointVersion, Step: step, P: 1,
+			K: marker, N: 5, Dim: 2, Np: 36, Npp: 16,
+			Ranks: []RankCheckpoint{{Rank: 0, U: [3][]float64{
+				make([]float64, 64), make([]float64, 64), nil,
+			}}},
+		}
+	}
+	const writers = 8
+	const rounds = 20
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// All writers share the directory; each has its own final path
+			// (two sessions, same step) but the temp names must not collide.
+			path := filepath.Join(dir, fmt.Sprintf("sess%d-ckpt-000010.gob", w))
+			for r := 0; r < rounds; r++ {
+				if err := mk(10, w).WriteFile(path); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	for w := 0; w < writers; w++ {
+		path := filepath.Join(dir, fmt.Sprintf("sess%d-ckpt-000010.gob", w))
+		c, err := LoadCheckpoint(path)
+		if err != nil {
+			t.Fatalf("writer %d: snapshot did not survive concurrent writes: %v", w, err)
+		}
+		if c.K != w || c.Step != 10 {
+			t.Fatalf("writer %d: loaded someone else's snapshot: K=%d step=%d", w, c.K, c.Step)
+		}
+	}
+	// No temp litter left behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("leftover temp file %s", e.Name())
+		}
 	}
 }

@@ -19,11 +19,12 @@ import (
 // the calling goroutine; workers 1..len(chunks)-1 are long-lived goroutines
 // parked on their wake channel.
 type elemPool struct {
-	chunks [][2]int        // per-worker [e0, e1) element ranges
-	wake   []chan struct{} // one per extra worker (chunk index i+1)
-	stop   chan struct{}   // closed by the owning Disc's finalizer
-	wg     sync.WaitGroup
-	fn     func(e, w int) // current loop body; nil between runs
+	chunks   [][2]int        // per-worker [e0, e1) element ranges
+	wake     []chan struct{} // one per extra worker (chunk index i+1)
+	stop     chan struct{}   // closed by shutdown (Disc.Close or finalizer)
+	stopOnce sync.Once       // makes shutdown idempotent
+	wg       sync.WaitGroup
+	fn       func(e, w int) // current loop body; nil between runs
 }
 
 // newElemPool partitions k elements into up to `workers` contiguous chunks
@@ -99,6 +100,11 @@ func (p *elemPool) parallel() bool {
 	return p != nil && len(p.wake) > 0 && runtime.GOMAXPROCS(0) > 1
 }
 
-// shutdown releases the workers. Registered as the owning Disc's finalizer;
-// safe to call at most once.
-func (p *elemPool) shutdown() { close(p.stop) }
+// shutdown releases the workers. Called by Disc.Close and, as a backstop,
+// by the owning Disc's finalizer; idempotent, so both may fire.
+func (p *elemPool) shutdown() {
+	if p == nil {
+		return
+	}
+	p.stopOnce.Do(func() { close(p.stop) })
+}

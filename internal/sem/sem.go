@@ -93,13 +93,30 @@ func New(m *mesh.Mesh, mask []float64, workers int) *Disc {
 	}
 	if workers > 1 && m.K >= 2 {
 		d.pool = newElemPool(m.K, workers)
-		// The workers reference only the pool, never the Disc, and every
-		// prebuilt loop body is cleared from p.fn between runs — so when the
-		// Disc becomes unreachable this finalizer fires and parks the
-		// goroutines for collection.
-		runtime.SetFinalizer(d, func(dd *Disc) { dd.pool.shutdown() })
+		// Backstop only: the owner is expected to call Close. The workers
+		// reference only the pool, never the Disc, and every prebuilt loop
+		// body is cleared from p.fn between runs — so when a Disc is leaked
+		// without Close, this finalizer still parks the goroutines for
+		// collection (eventually, at GC's discretion; a server creating many
+		// Discs must not rely on it).
+		pool := d.pool
+		runtime.SetFinalizer(d, func(*Disc) { pool.shutdown() })
 	}
 	return d
+}
+
+// Close stops the element-loop worker pool. It is idempotent and safe on a
+// pool-less (serial) Disc; after Close the operators remain fully usable
+// but run their element loops serially. Long-lived processes that create
+// many Discs (the session service) must call Close when a Disc is retired —
+// the finalizer registered by New is only a GC-timed backstop, and until it
+// fires each abandoned Disc pins Workers-1 parked goroutines.
+func (d *Disc) Close() {
+	if d.pool != nil {
+		d.pool.shutdown()
+		d.pool = nil // subsequent ForElements calls fall back to the serial loop
+		runtime.SetFinalizer(d, nil)
+	}
 }
 
 // Flops returns the cumulative analytic flop count of all operator

@@ -2,8 +2,10 @@ package sem
 
 import (
 	"math"
+	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/mesh"
 	"repro/internal/solver"
@@ -473,4 +475,68 @@ func TestStiffnessElementConcurrent(t *testing.T) {
 			t.Fatalf("concurrent StiffnessElement differs at %d: %g vs %g", i, got[i], want[i])
 		}
 	}
+}
+
+// countPoolGoroutines waits (briefly) for the runtime's goroutine count to
+// settle at or below want, returning the last observed count. Goroutine
+// exit is asynchronous after a pool shutdown, so a bounded retry loop is
+// the only race-free way to observe it.
+func settleGoroutines(want int) int {
+	n := runtime.NumGoroutine()
+	for i := 0; i < 200 && n > want; i++ {
+		time.Sleep(5 * time.Millisecond)
+		n = runtime.NumGoroutine()
+	}
+	return n
+}
+
+// TestDiscCloseStopsPoolGoroutines is the regression test for the session
+// service's pool leak: before Disc.Close existed, every retired Disc kept
+// its Workers-1 goroutines parked until GC happened to run its finalizer,
+// so a server creating many Discs accumulated them without bound.
+func TestDiscCloseStopsPoolGoroutines(t *testing.T) {
+	base := settleGoroutines(0)
+	const cycles = 8
+	for i := 0; i < cycles; i++ {
+		d := boxDisc(t, 4, 4, 5, 4)
+		// Exercise the pool once so the test covers a used pool, not a
+		// freshly built one.
+		u := make([]float64, d.M.K*d.M.Np)
+		out := make([]float64, len(u))
+		d.Laplacian(out, u)
+		d.Close()
+		d.Close() // idempotent
+	}
+	if n := settleGoroutines(base); n > base {
+		t.Fatalf("goroutines leaked across %d Disc create/Close cycles: %d before, %d after",
+			cycles, base, n)
+	}
+}
+
+// TestDiscUsableAfterClose: Close retires the pool, not the operators — a
+// closed Disc keeps producing bitwise-identical fields via the serial loop.
+func TestDiscUsableAfterClose(t *testing.T) {
+	d := boxDisc(t, 3, 3, 5, 4)
+	n := d.M.K * d.M.Np
+	u := make([]float64, n)
+	for i := range u {
+		u[i] = math.Sin(float64(3 * i % 17)) // deterministic non-trivial field
+	}
+	before := make([]float64, n)
+	d.Laplacian(before, u)
+	d.Close()
+	after := make([]float64, n)
+	d.Laplacian(after, u)
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("Laplacian differs after Close at %d: %g vs %g", i, before[i], after[i])
+		}
+	}
+}
+
+// TestDiscCloseSerial: Close on a workers=1 Disc (no pool) is a no-op.
+func TestDiscCloseSerial(t *testing.T) {
+	d := boxDisc(t, 3, 3, 5, 1)
+	d.Close()
+	d.Close()
 }

@@ -1,0 +1,289 @@
+package session
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newTestAPI(t *testing.T) (*Manager, *httptest.Server) {
+	t.Helper()
+	m := NewManager(NewMemStore(), 2)
+	srv := httptest.NewServer(HTTPHandler(m))
+	t.Cleanup(func() {
+		srv.Close()
+		m.Close()
+	})
+	return m, srv
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decodeJSON(t *testing.T, resp *http.Response, v any) {
+	t.Helper()
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func getBody(t *testing.T, url string, wantCode int) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != wantCode {
+		t.Fatalf("GET %s = %d, want %d (%s)", url, resp.StatusCode, wantCode, b)
+	}
+	return b
+}
+
+func pollDone(t *testing.T, base, id string) Status {
+	t.Helper()
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		var st Status
+		resp, err := http.Get(base + "/api/sessions/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		decodeJSON(t, resp, &st)
+		if st.State != StateRunning {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s still running: %+v", id, st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestHTTPSubmitPollHistory(t *testing.T) {
+	_, srv := newTestAPI(t)
+	const steps = 6
+
+	resp := postJSON(t, srv.URL+"/api/sessions", Config{
+		Case: "shearlayer", Steps: steps, Nel: 4, N: 5, Workers: 2, Trace: true,
+	})
+	if resp.StatusCode != http.StatusCreated {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("submit = %d: %s", resp.StatusCode, b)
+	}
+	var sub SubmitResponse
+	decodeJSON(t, resp, &sub)
+	if sub.ID == "" {
+		t.Fatal("empty id")
+	}
+
+	st := pollDone(t, srv.URL, sub.ID)
+	if st.State != StateDone || st.Step != steps {
+		t.Fatalf("final status %+v", st)
+	}
+
+	// Per-step JSONL: one record per step, parseable, in order.
+	hist := getBody(t, srv.URL+"/api/sessions/"+sub.ID+"/history", http.StatusOK)
+	lines := strings.Split(strings.TrimSpace(string(hist)), "\n")
+	if len(lines) != steps {
+		t.Fatalf("%d history lines, want %d", len(lines), steps)
+	}
+	for i, ln := range lines {
+		var rec struct {
+			Step int `json:"step"`
+		}
+		if err := json.Unmarshal([]byte(ln), &rec); err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+		if rec.Step != i+1 {
+			t.Fatalf("line %d has step %d", i, rec.Step)
+		}
+	}
+
+	// The job shows up in the listing.
+	var list []Status
+	if err := json.Unmarshal(getBody(t, srv.URL+"/api/sessions", http.StatusOK), &list); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, s := range list {
+		found = found || s.ID == sub.ID
+	}
+	if !found {
+		t.Fatalf("job %s missing from listing %+v", sub.ID, list)
+	}
+
+	// Artifacts: config, checkpoint, history, result, trace.
+	var names []string
+	if err := json.Unmarshal(getBody(t, srv.URL+"/api/sessions/"+sub.ID+"/artifacts", http.StatusOK), &names); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{ArtifactConfig, ArtifactCheckpoint, ArtifactHistory, ArtifactResult, ArtifactTrace} {
+		ok := false
+		for _, n := range names {
+			ok = ok || n == want
+		}
+		if !ok {
+			t.Fatalf("artifact %s missing from %v", want, names)
+		}
+	}
+	trace := getBody(t, srv.URL+"/api/sessions/"+sub.ID+"/artifacts/"+ArtifactTrace, http.StatusOK)
+	if !bytes.Contains(trace, []byte("traceEvents")) {
+		t.Fatal("trace artifact is not a Chrome trace")
+	}
+
+	// Per-session observability endpoints.
+	metrics := getBody(t, srv.URL+"/api/sessions/"+sub.ID+"/metrics", http.StatusOK)
+	if !bytes.Contains(metrics, []byte("semflow_")) {
+		t.Fatalf("metrics payload: %.120s", metrics)
+	}
+	var prog struct {
+		Step int  `json:"step"`
+		Done bool `json:"done"`
+	}
+	if err := json.Unmarshal(getBody(t, srv.URL+"/api/sessions/"+sub.ID+"/progress", http.StatusOK), &prog); err != nil {
+		t.Fatal(err)
+	}
+	if prog.Step != steps || !prog.Done {
+		t.Fatalf("progress %+v, want step=%d done", prog, steps)
+	}
+}
+
+func TestHTTPCheckpointResumeCancel(t *testing.T) {
+	_, srv := newTestAPI(t)
+
+	// A long job: checkpoint it mid-flight, then cancel it.
+	resp := postJSON(t, srv.URL+"/api/sessions", Config{
+		Case: "shearlayer", Steps: 100_000, Nel: 4, N: 5, Workers: 1,
+	})
+	var sub SubmitResponse
+	decodeJSON(t, resp, &sub)
+
+	for {
+		var st Status
+		r, err := http.Get(srv.URL + "/api/sessions/" + sub.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		decodeJSON(t, r, &st)
+		if st.Step > 0 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ck := postJSON(t, srv.URL+"/api/sessions/"+sub.ID+"/checkpoint", nil)
+	if ck.StatusCode != http.StatusOK {
+		t.Fatalf("checkpoint = %d", ck.StatusCode)
+	}
+	var ckResp struct {
+		Step int `json:"step"`
+	}
+	decodeJSON(t, ck, &ckResp)
+	if ckResp.Step == 0 {
+		t.Fatal("checkpoint at step 0")
+	}
+
+	cancel := postJSON(t, srv.URL+"/api/sessions/"+sub.ID+"/cancel", nil)
+	if cancel.StatusCode != http.StatusOK {
+		t.Fatalf("cancel = %d", cancel.StatusCode)
+	}
+	cancel.Body.Close()
+	st := pollDone(t, srv.URL, sub.ID)
+	if st.State != StateCancelled {
+		t.Fatalf("state %s, want cancelled", st.State)
+	}
+
+	// Resume over HTTP from the deposited checkpoint.
+	resume := postJSON(t, srv.URL+"/api/sessions",
+		SubmitRequest{ResumeFrom: sub.ID, Config: Config{Steps: st.Step + 3}})
+	if resume.StatusCode != http.StatusCreated {
+		b, _ := io.ReadAll(resume.Body)
+		t.Fatalf("resume = %d: %s", resume.StatusCode, b)
+	}
+	var sub2 SubmitResponse
+	decodeJSON(t, resume, &sub2)
+	st2 := pollDone(t, srv.URL, sub2.ID)
+	if st2.State != StateDone || st2.Step != st.Step+3 || st2.ResumedFrom != sub.ID {
+		t.Fatalf("resumed status %+v", st2)
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	_, srv := newTestAPI(t)
+
+	getBody(t, srv.URL+"/api/sessions/nope", http.StatusNotFound)
+	getBody(t, srv.URL+"/api/sessions/nope/history", http.StatusNotFound)
+	getBody(t, srv.URL+"/api/sessions/nope/artifacts", http.StatusNotFound)
+
+	for _, body := range []string{
+		`{"case":"vortexstreet","steps":5}`, // unknown case
+		`{"case":"shearlayer"}`,             // no steps
+		`{not json`,
+	} {
+		resp, err := http.Post(srv.URL+"/api/sessions", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("submit %s = %d, want 400", body, resp.StatusCode)
+		}
+	}
+	resp := postJSON(t, srv.URL+"/api/sessions", SubmitRequest{ResumeFrom: "nope", Config: Config{Steps: 5}})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("resume from unknown = %d, want 404", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	b := getBody(t, srv.URL+"/healthz", http.StatusOK)
+	if !bytes.Contains(b, []byte("ok")) {
+		t.Fatalf("healthz: %s", b)
+	}
+}
+
+// TestHTTPHistoryStreamsLive asserts the history endpoint is readable
+// mid-run — the "stream telemetry while it runs" contract.
+func TestHTTPHistoryStreamsLive(t *testing.T) {
+	_, srv := newTestAPI(t)
+	resp := postJSON(t, srv.URL+"/api/sessions", Config{
+		Case: "shearlayer", Steps: 100_000, Nel: 4, N: 5, Workers: 1,
+	})
+	var sub SubmitResponse
+	decodeJSON(t, resp, &sub)
+	defer func() {
+		postJSON(t, srv.URL+"/api/sessions/"+sub.ID+"/cancel", nil).Body.Close()
+		pollDone(t, srv.URL, sub.ID)
+	}()
+
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		hist := getBody(t, srv.URL+"/api/sessions/"+sub.ID+"/history", http.StatusOK)
+		if n := len(strings.Split(strings.TrimSpace(string(hist)), "\n")); n >= 2 && len(hist) > 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("history never streamed mid-run")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

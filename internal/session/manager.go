@@ -1,0 +1,377 @@
+package session
+
+// manager.go multiplexes many concurrent sessions over a bounded number of
+// active element-worker pools. Every session owns its pools (fixed chunk
+// assignment is what makes stepping bitwise deterministic), but only
+// MaxActive sessions may be *stepping* — and therefore have awake pools —
+// at any instant: the scheduler is a counting semaphore that each job
+// acquires for one batch of steps (Config.BatchSteps) and then releases,
+// so long jobs cannot starve short ones. When a job reaches its step
+// target, is cancelled, or fails, the manager deposits its artifacts in
+// the Store (history.jsonl, checkpoint.gob, trace.json, result.json) and
+// closes the session, releasing its worker pools — the lifecycle the
+// Disc.Close bugfix exists for.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/ns"
+)
+
+// Artifact names deposited by the manager.
+const (
+	ArtifactConfig     = "config.json"
+	ArtifactHistory    = "history.jsonl"
+	ArtifactCheckpoint = "checkpoint.gob"
+	ArtifactTrace      = "trace.json"
+	ArtifactResult     = "result.json"
+)
+
+// State is a job's lifecycle position.
+type State string
+
+const (
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateCancelled State = "cancelled"
+	StateFailed    State = "failed"
+)
+
+// Status is one job's externally visible state (the HTTP status payload).
+type Status struct {
+	ID          string  `json:"id"`
+	State       State   `json:"state"`
+	Case        string  `json:"case"`
+	Step        int     `json:"step"`
+	TotalSteps  int     `json:"total_steps"`
+	Time        float64 `json:"time"`
+	Error       string  `json:"error,omitempty"`
+	ResumedFrom string  `json:"resumed_from,omitempty"`
+
+	// Last completed step's headline stats.
+	CFL              float64 `json:"cfl,omitempty"`
+	PressureIters    int     `json:"pressure_iters,omitempty"`
+	PressureResFinal float64 `json:"pressure_res_final,omitempty"`
+}
+
+// Result is the result.json artifact: the final Status.
+type Result = Status
+
+// Job is one managed session run.
+type Job struct {
+	ID   string
+	Cfg  Config
+	sess *Session
+
+	resumedFrom string
+
+	mu    sync.Mutex
+	state State
+	err   string
+	last  ns.StepStats
+	step  int
+	time  float64
+
+	done chan struct{} // closed when the runner finishes
+}
+
+// Status snapshots the job.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return Status{
+		ID: j.ID, State: j.state, Case: j.Cfg.Case,
+		Step: j.step, TotalSteps: j.Cfg.Steps, Time: j.time,
+		Error: j.err, ResumedFrom: j.resumedFrom,
+		CFL: j.last.CFL, PressureIters: j.last.PressureIters,
+		PressureResFinal: j.last.PressureResFinal,
+	}
+}
+
+// Session exposes the job's session (for per-job /metrics, /progress,
+// /history). Valid after the job finishes too — a closed session's
+// instruments stay readable.
+func (j *Job) Session() *Session { return j.sess }
+
+// Done returns a channel closed when the job's runner has finished and all
+// artifacts are deposited.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Manager owns the job table, the scheduler, and the artifact store.
+type Manager struct {
+	store Store
+	slots chan struct{} // scheduler: one token per concurrently stepping session
+
+	mu   sync.Mutex
+	jobs map[string]*Job
+	seq  int
+
+	wg sync.WaitGroup
+}
+
+// NewManager builds a manager multiplexing jobs over at most maxActive
+// concurrently stepping sessions (minimum 1).
+func NewManager(store Store, maxActive int) *Manager {
+	if maxActive < 1 {
+		maxActive = 1
+	}
+	return &Manager{
+		store: store,
+		slots: make(chan struct{}, maxActive),
+		jobs:  map[string]*Job{},
+	}
+}
+
+// Submit creates a session for cfg and schedules it for cfg.Steps steps.
+func (m *Manager) Submit(cfg Config) (*Job, error) {
+	if cfg.Steps <= 0 {
+		return nil, fmt.Errorf("session: submit needs steps > 0")
+	}
+	sess, err := Create(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return m.launch(sess, "")
+}
+
+// ResumeJob builds a new job continuing a stored session: its config.json
+// fixes the case, its checkpoint.gob fixes the state. steps, when > 0,
+// replaces the step target (it must exceed the checkpoint's step count);
+// 0 keeps the original target. Works across manager (and process)
+// restarts — both artifacts live in the store.
+func (m *Manager) ResumeJob(fromID string, steps int) (*Job, error) {
+	rawCfg, err := m.store.Get(fromID, ArtifactConfig)
+	if err != nil {
+		return nil, err
+	}
+	var cfg Config
+	if err := json.Unmarshal(rawCfg, &cfg); err != nil {
+		return nil, fmt.Errorf("session: resume %s: config: %w", fromID, err)
+	}
+	rawCk, err := m.store.Get(fromID, ArtifactCheckpoint)
+	if err != nil {
+		return nil, err
+	}
+	ck, err := ns.ReadCheckpoint(bytes.NewReader(rawCk))
+	if err != nil {
+		return nil, fmt.Errorf("session: resume %s: %w", fromID, err)
+	}
+	if steps > 0 {
+		cfg.Steps = steps
+	}
+	if cfg.Steps <= ck.Step {
+		return nil, fmt.Errorf("session: resume %s: checkpoint already at step %d, target is %d",
+			fromID, ck.Step, cfg.Steps)
+	}
+	sess, err := Resume(cfg, ck)
+	if err != nil {
+		return nil, err
+	}
+	return m.launch(sess, fromID)
+}
+
+// launch registers a job for sess and starts its runner.
+func (m *Manager) launch(sess *Session, resumedFrom string) (*Job, error) {
+	m.mu.Lock()
+	m.seq++
+	id := fmt.Sprintf("s%04d-%s", m.seq, sess.Config().Case)
+	j := &Job{
+		ID: id, Cfg: sess.Config(), sess: sess,
+		resumedFrom: resumedFrom,
+		state:       StateRunning,
+		step:        sess.Step(), time: sess.Time(),
+		done: make(chan struct{}),
+	}
+	m.jobs[id] = j
+	m.mu.Unlock()
+
+	cfgJSON, err := json.MarshalIndent(j.Cfg, "", "  ")
+	if err == nil {
+		err = m.store.Put(id, ArtifactConfig, cfgJSON)
+	}
+	if err != nil {
+		sess.Close()
+		m.mu.Lock()
+		delete(m.jobs, id)
+		m.mu.Unlock()
+		return nil, fmt.Errorf("session: persist config: %w", err)
+	}
+
+	m.wg.Add(1)
+	go m.run(j)
+	return j, nil
+}
+
+// run is the job's scheduler loop: acquire a slot, step one batch,
+// release, until the target, a cancel, or an error — then deposit the
+// artifacts and close the session.
+func (m *Manager) run(j *Job) {
+	defer m.wg.Done()
+	defer close(j.done)
+
+	final := StateDone
+	errMsg := ""
+	lastCkpt := j.sess.Step()
+	for {
+		step := j.sess.Step()
+		if step >= j.Cfg.Steps {
+			break
+		}
+		if j.sess.Cancelled() {
+			final = StateCancelled
+			break
+		}
+		batch := j.Cfg.BatchSteps
+		if rem := j.Cfg.Steps - step; batch > rem {
+			batch = rem
+		}
+		m.slots <- struct{}{}
+		st, err := j.sess.StepN(batch)
+		<-m.slots
+		if st.Step > 0 {
+			j.mu.Lock()
+			j.last, j.step, j.time = st, st.Step, st.Time
+			j.mu.Unlock()
+		}
+		if err == ErrCancelled {
+			final = StateCancelled
+			break
+		}
+		if err != nil {
+			final = StateFailed
+			errMsg = err.Error()
+			break
+		}
+		if every := j.Cfg.CheckpointEvery; every > 0 && j.sess.Step()-lastCkpt >= every {
+			if err := m.depositCheckpoint(j); err == nil {
+				lastCkpt = j.sess.Step()
+			}
+		}
+	}
+	m.finish(j, final, errMsg)
+}
+
+// depositCheckpoint snapshots the session into the store.
+func (m *Manager) depositCheckpoint(j *Job) error {
+	ck, err := j.sess.Checkpoint()
+	if err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	if err := ck.Encode(&buf); err != nil {
+		return err
+	}
+	return m.store.Put(j.ID, ArtifactCheckpoint, buf.Bytes())
+}
+
+// finish deposits the job's artifacts, closes its session, and publishes
+// the final state. Failed sessions keep their last checkpoint rather than
+// a post-mortem one; done and cancelled sessions get a final snapshot so
+// they can be resumed (cancelled) or extended (done).
+func (m *Manager) finish(j *Job, final State, errMsg string) {
+	if final != StateFailed {
+		if err := m.depositCheckpoint(j); err != nil && errMsg == "" {
+			errMsg = fmt.Sprintf("checkpoint artifact: %v", err)
+		}
+	}
+	var hist bytes.Buffer
+	if err := j.sess.History().WriteJSONL(&hist); err == nil {
+		if err := m.store.Put(j.ID, ArtifactHistory, hist.Bytes()); err != nil && errMsg == "" {
+			errMsg = fmt.Sprintf("history artifact: %v", err)
+		}
+	}
+	if tr := j.sess.Tracer(); tr != nil {
+		var buf bytes.Buffer
+		if err := tr.WriteJSON(&buf); err == nil {
+			if err := m.store.Put(j.ID, ArtifactTrace, buf.Bytes()); err != nil && errMsg == "" {
+				errMsg = fmt.Sprintf("trace artifact: %v", err)
+			}
+		}
+	}
+	j.sess.Close()
+
+	j.mu.Lock()
+	j.state = final
+	j.err = errMsg
+	st := j.sess.Step()
+	j.step, j.time = st, j.sess.Time()
+	status := Status{
+		ID: j.ID, State: j.state, Case: j.Cfg.Case,
+		Step: j.step, TotalSteps: j.Cfg.Steps, Time: j.time,
+		Error: j.err, ResumedFrom: j.resumedFrom,
+		CFL: j.last.CFL, PressureIters: j.last.PressureIters,
+		PressureResFinal: j.last.PressureResFinal,
+	}
+	j.mu.Unlock()
+	j.sess.updateProgress(ns.StepStats{Step: status.Step, Time: status.Time,
+		CFL: status.CFL, PressureIters: status.PressureIters,
+		PressureResFinal: status.PressureResFinal}, true)
+	if b, err := json.MarshalIndent(status, "", "  "); err == nil {
+		m.store.Put(j.ID, ArtifactResult, b)
+	}
+}
+
+// Get returns a job by id.
+func (m *Manager) Get(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// List returns all jobs' statuses, sorted by id.
+func (m *Manager) List() []Status {
+	m.mu.Lock()
+	jobs := make([]*Job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		jobs = append(jobs, j)
+	}
+	m.mu.Unlock()
+	out := make([]Status, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, j.Status())
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
+	return out
+}
+
+// Cancel requests a job stop at its next step boundary.
+func (m *Manager) Cancel(id string) error {
+	j, ok := m.Get(id)
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	j.sess.Cancel()
+	return nil
+}
+
+// Checkpoint snapshots a running job into the store and returns the
+// completed step count of the snapshot.
+func (m *Manager) Checkpoint(id string) (int, error) {
+	j, ok := m.Get(id)
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	if err := m.depositCheckpoint(j); err != nil {
+		return 0, err
+	}
+	return j.sess.Step(), nil
+}
+
+// Store exposes the artifact store (the HTTP layer serves from it).
+func (m *Manager) Store() Store { return m.store }
+
+// Close cancels every running job and waits for all runners to deposit
+// their artifacts and release their sessions.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	for _, j := range m.jobs {
+		j.sess.Cancel()
+	}
+	m.mu.Unlock()
+	m.wg.Wait()
+}

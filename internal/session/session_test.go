@@ -1,0 +1,365 @@
+package session
+
+import (
+	"bytes"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/ns"
+)
+
+// testCfg is a small fast case for lifecycle tests.
+func testCfg(steps, workers int) Config {
+	return Config{
+		Case: "shearlayer", Steps: steps, Nel: 4, N: 5,
+		Alpha: 0.2, Workers: workers,
+	}
+}
+
+// historyJSONL renders a session's per-step records — the bitwise
+// comparison surface (StepRecord has no wall-clock fields).
+func historyJSONL(t *testing.T, s *Session) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := s.History().WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// soloRun steps a fresh session to completion and returns its history
+// JSONL, final u-velocity, and final step stats.
+func soloRun(t *testing.T, cfg Config) ([]byte, []float64, ns.StepStats) {
+	t.Helper()
+	s, err := Create(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	last, err := s.StepN(cfg.Steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := append([]float64(nil), s.Solver().U[0]...)
+	return historyJSONL(t, s), u, last
+}
+
+func TestSessionLifecycle(t *testing.T) {
+	cfg := testCfg(8, 2)
+	wantHist, wantU, wantLast := soloRun(t, cfg)
+
+	// Step half, checkpoint, step the rest: same history as one shot.
+	s, err := Create(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.StepN(4); err != nil {
+		t.Fatal(err)
+	}
+	ck, err := s.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	last, err := s.StepN(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last != wantLast {
+		t.Fatalf("split-run last stats differ:\n got %+v\nwant %+v", last, wantLast)
+	}
+	if !bytes.Equal(historyJSONL(t, s), wantHist) {
+		t.Fatal("split-run history differs from one-shot run")
+	}
+
+	// Resume the checkpoint in a fresh session: identical continuation.
+	r, err := Resume(cfg, ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if got := r.Step(); got != 4 {
+		t.Fatalf("resumed at step %d, want 4", got)
+	}
+	rLast, err := r.StepN(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rLast != wantLast {
+		t.Fatalf("resumed last stats differ:\n got %+v\nwant %+v", rLast, wantLast)
+	}
+	for i, v := range r.Solver().U[0] {
+		if v != wantU[i] {
+			t.Fatalf("resumed u[%d] = %v, want %v", i, v, wantU[i])
+		}
+	}
+
+	// Cancel stops at the next boundary; the session stays usable.
+	c, err := Create(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.StepN(2); err != nil {
+		t.Fatal(err)
+	}
+	c.Cancel()
+	if _, err := c.StepN(2); !errors.Is(err, ErrCancelled) {
+		t.Fatalf("StepN after Cancel: %v, want ErrCancelled", err)
+	}
+	if _, err := c.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint after Cancel: %v", err)
+	}
+
+	// Close is idempotent and fences stepping.
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.StepN(1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("StepN after Close: %v, want ErrClosed", err)
+	}
+	if _, err := c.Checkpoint(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Checkpoint after Close: %v, want ErrClosed", err)
+	}
+}
+
+func TestSessionOnStepSeesEveryStep(t *testing.T) {
+	cfg := testCfg(5, 1)
+	var steps []int
+	cfg.OnStep = func(st ns.StepStats) { steps = append(steps, st.Step) }
+	s, err := Create(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.StepN(5); err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != 5 {
+		t.Fatalf("OnStep fired %d times, want 5", len(steps))
+	}
+	for i, st := range steps {
+		if st != i+1 {
+			t.Fatalf("OnStep order %v", steps)
+		}
+	}
+}
+
+func TestCreateRejectsUnknownCase(t *testing.T) {
+	if _, err := Create(Config{Case: "vortexstreet"}); err == nil {
+		t.Fatal("unknown case accepted")
+	}
+}
+
+// TestManagerConcurrentBitwiseIdentical is the PR's acceptance test: two
+// sessions multiplexed by one manager over a shared scheduler produce
+// exactly — bitwise — the per-step stats and final fields each produces
+// running alone.
+func TestManagerConcurrentBitwiseIdentical(t *testing.T) {
+	cfgA := testCfg(8, 2)
+	cfgA.BatchSteps = 2
+	cfgB := Config{Case: "channel", Steps: 8, N: 5, KX: 3, KY: 2,
+		Alpha: 0.2, Workers: 3, BatchSteps: 3}
+
+	histA, uA, lastA := soloRun(t, cfgA)
+	histB, uB, lastB := soloRun(t, cfgB)
+
+	m := NewManager(NewMemStore(), 2)
+	jobA, err := m.Submit(cfgA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobB, err := m.Submit(cfgB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, jobA)
+	waitJob(t, jobB)
+	m.Close()
+
+	check := func(name string, j *Job, hist []byte, u []float64, last ns.StepStats) {
+		st := j.Status()
+		if st.State != StateDone {
+			t.Fatalf("%s: state %s (err %q)", name, st.State, st.Error)
+		}
+		if st.Step != last.Step || st.Time != last.Time || st.CFL != last.CFL ||
+			st.PressureIters != last.PressureIters ||
+			st.PressureResFinal != last.PressureResFinal {
+			t.Fatalf("%s: final status %+v differs from solo stats %+v", name, st, last)
+		}
+		stored, err := m.Store().Get(j.ID, ArtifactHistory)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(stored, hist) {
+			t.Fatalf("%s: concurrent per-step history differs from solo run", name)
+		}
+		got := j.Session().Solver().U[0]
+		for i := range got {
+			if got[i] != u[i] {
+				t.Fatalf("%s: u[%d] = %v, want %v (not bitwise identical)", name, i, got[i], u[i])
+			}
+		}
+	}
+	check("A", jobA, histA, uA, lastA)
+	check("B", jobB, histB, uB, lastB)
+}
+
+func TestManagerResumeAcrossRestart(t *testing.T) {
+	cfg := testCfg(10, 2)
+	wantHist, wantU, wantLast := soloRun(t, cfg)
+
+	// First manager life: run 4 of the 10 steps, then "crash" (close).
+	store := NewMemStore()
+	m1 := NewManager(store, 1)
+	short := cfg
+	short.Steps = 4
+	j1, err := m1.Submit(short)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, j1)
+	m1.Close()
+
+	// Second life: a fresh manager resumes from the stored artifacts and
+	// raises the target to the full 10 steps.
+	m2 := NewManager(store, 1)
+	j2, err := m2.ResumeJob(j1.ID, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, j2)
+	defer m2.Close()
+
+	st := j2.Status()
+	if st.State != StateDone || st.ResumedFrom != j1.ID {
+		t.Fatalf("resumed job status %+v", st)
+	}
+	if st.Step != wantLast.Step || st.Time != wantLast.Time || st.CFL != wantLast.CFL {
+		t.Fatalf("resumed final %+v, want %+v", st, wantLast)
+	}
+	got := j2.Session().Solver().U[0]
+	for i := range got {
+		if got[i] != wantU[i] {
+			t.Fatalf("resumed u[%d] = %v, want %v", i, got[i], wantU[i])
+		}
+	}
+	// The resumed job's history holds steps 5..10; it must match the tail
+	// of the solo run's record stream.
+	resumedHist, err := store.Get(j2.ID, ArtifactHistory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasSuffix(wantHist, resumedHist) {
+		t.Fatal("resumed history is not the solo run's tail")
+	}
+
+	// Resuming a finished job without extending the target is an error.
+	if _, err := m2.ResumeJob(j2.ID, 10); err == nil {
+		t.Fatal("resume past the final step accepted")
+	}
+}
+
+func TestManagerCancelAndFailurePaths(t *testing.T) {
+	m := NewManager(NewMemStore(), 1)
+	defer m.Close()
+
+	// A long job cancelled mid-flight deposits a resumable checkpoint.
+	cfg := testCfg(10_000, 1)
+	j, err := m.Submit(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j.Status().Step == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	if err := m.Cancel(j.ID); err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, j)
+	st := j.Status()
+	if st.State != StateCancelled {
+		t.Fatalf("state %s, want cancelled", st.State)
+	}
+	if st.Step == 0 || st.Step >= cfg.Steps {
+		t.Fatalf("cancelled at step %d", st.Step)
+	}
+	if _, err := m.Store().Get(j.ID, ArtifactCheckpoint); err != nil {
+		t.Fatalf("cancelled job checkpoint: %v", err)
+	}
+	r, err := m.ResumeJob(j.ID, st.Step+2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, r)
+	if got := r.Status(); got.State != StateDone || got.Step != st.Step+2 {
+		t.Fatalf("resumed cancelled job: %+v", got)
+	}
+
+	if _, err := m.Submit(Config{Case: "shearlayer"}); err == nil {
+		t.Fatal("Submit with 0 steps accepted")
+	}
+	if _, err := m.ResumeJob("nope", 5); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("ResumeJob(nope): %v, want ErrNotFound", err)
+	}
+	if err := m.Cancel("nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Cancel(nope): %v, want ErrNotFound", err)
+	}
+}
+
+// TestManagerReleasesWorkerPools is the leak half of the acceptance
+// criterion: after every session closes, the process is back to its
+// baseline goroutine count — no element-pool workers survive.
+func TestManagerReleasesWorkerPools(t *testing.T) {
+	base := runtime.NumGoroutine()
+	m := NewManager(NewMemStore(), 2)
+	var jobs []*Job
+	for i := 0; i < 4; i++ {
+		cfg := testCfg(3, 3) // 3 workers → 2 pool goroutines per disc pair
+		cfg.BatchSteps = 1
+		j, err := m.Submit(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+	}
+	for _, j := range jobs {
+		waitJob(t, j)
+	}
+	m.Close()
+	settleGoroutines(t, base)
+}
+
+func waitJob(t *testing.T, j *Job) {
+	t.Helper()
+	select {
+	case <-j.Done():
+	case <-time.After(120 * time.Second):
+		t.Fatalf("job %s did not finish: %+v", j.ID, j.Status())
+	}
+}
+
+// settleGoroutines retries until the goroutine count drops back to at most
+// want (GC and scheduler need a moment to retire pool workers).
+func settleGoroutines(t *testing.T, want int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= want {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines did not settle: have %d, want <= %d\n%s",
+				runtime.NumGoroutine(), want, buf[:n])
+		}
+		runtime.GC()
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -8,11 +8,12 @@
 #           sem worker pools, instrument counters) still runs under -race.
 #   static  staticcheck over the module (skipped with a note when the
 #           binary is not installed; the workflow installs it)
-#   smoke   build semflow + tracecheck + tracepath once, then validate the
-#           -trace and -history artifacts of the serial, distributed,
-#           fault-injected, and checkpoint/restart paths, scrape the live
-#           -listen endpoint mid-run, and walk the P=256 trace's critical
-#           path
+#   smoke   build semflow + semflowd + tracecheck + tracepath once, then
+#           validate the -trace and -history artifacts of the serial,
+#           distributed, fault-injected, and checkpoint/restart paths,
+#           scrape the live -listen endpoint mid-run, walk the P=256
+#           trace's critical path, and round-trip a channel job through
+#           the semflowd session service (submit, poll, fetch artifacts)
 #   bench   benchmark harness, one iteration per benchmark (including the
 #           -cpu 1,4 worker sweep) + artifact check + the zero-allocs/op
 #           gate on the serial and workers=4 steady-state channel steps
@@ -63,7 +64,7 @@ smoke() {
 
     # Build the drivers once; every smoke below reuses the binaries instead
     # of paying `go run` compilation per invocation.
-    stage "smoke/build" go build -o "$out/bin/" ./cmd/semflow ./cmd/tracecheck ./cmd/tracepath
+    stage "smoke/build" go build -o "$out/bin/" ./cmd/semflow ./cmd/semflowd ./cmd/tracecheck ./cmd/tracepath
 
     echo "== smoke: semflow -trace/-history artifacts validate =="
     "$out/bin/semflow" -case shearlayer -nel 4 -n 5 -steps 2 -report 1 \
@@ -144,6 +145,63 @@ EOF
     # The sampled trace keeps full tracks for exactly 2 of the 4 ranks and
     # stays flow-closed by construction.
     "$out/bin/tracecheck" -trace "$out/sampled-trace.json" -min-ranks 2 -flows-closed
+
+    echo "== smoke: semflowd session service end-to-end =="
+    # Start the daemon on a free port, submit the Table-1 TS-wave channel
+    # case over the job API, poll it to completion, then validate the
+    # streamed history JSONL and the stored trace artifact with tracecheck.
+    "$out/bin/semflowd" -listen 127.0.0.1:0 -store "$out/semflowd-data" \
+        -max-active 2 > "$out/semflowd.log" 2>&1 &
+    daemon_pid=$!
+    daddr=""
+    for _ in $(seq 1 100); do
+        daddr="$(sed -n 's|^semflowd: listening on http://\([^ ]*\).*|\1|p' "$out/semflowd.log")"
+        [ -n "$daddr" ] && break
+        sleep 0.2
+    done
+    if [ -z "$daddr" ]; then
+        echo "semflowd never reported an address:" >&2
+        cat "$out/semflowd.log" >&2
+        kill "$daemon_pid" 2>/dev/null || true
+        exit 1
+    fi
+    sid="$(curl -sf "http://$daddr/api/sessions" \
+        -d '{"case":"channel","steps":4,"n":5,"workers":2,"trace":true}' \
+        | sed -n 's/.*"id": *"\([^"]*\)".*/\1/p')"
+    if [ -z "$sid" ]; then
+        echo "semflowd rejected the channel submission:" >&2
+        cat "$out/semflowd.log" >&2
+        kill "$daemon_pid" 2>/dev/null || true
+        exit 1
+    fi
+    state=""
+    for _ in $(seq 1 300); do
+        state="$(curl -sf "http://$daddr/api/sessions/$sid" \
+            | sed -n 's/.*"state": *"\([^"]*\)".*/\1/p')"
+        [ "$state" = "running" ] || break
+        sleep 0.2
+    done
+    if [ "$state" != "done" ]; then
+        echo "session $sid ended in state '$state':" >&2
+        curl -s "http://$daddr/api/sessions/$sid" >&2 || true
+        kill "$daemon_pid" 2>/dev/null || true
+        exit 1
+    fi
+    # Per-session live instruments, then the deposited artifacts.
+    "$out/bin/tracecheck" -metrics-url "http://$daddr/api/sessions/$sid/metrics" \
+        -progress-url "http://$daddr/api/sessions/$sid/progress"
+    curl -sf "http://$daddr/api/sessions/$sid/history" > "$out/semflowd-history.jsonl"
+    curl -sf "http://$daddr/api/sessions/$sid/artifacts/trace.json" > "$out/semflowd-trace.json"
+    "$out/bin/tracecheck" -trace "$out/semflowd-trace.json" \
+        -history "$out/semflowd-history.jsonl"
+    [ "$(wc -l < "$out/semflowd-history.jsonl")" -eq 4 ] || {
+        echo "expected 4 history records, got:" >&2
+        cat "$out/semflowd-history.jsonl" >&2
+        kill "$daemon_pid" 2>/dev/null || true
+        exit 1
+    }
+    kill "$daemon_pid" 2>/dev/null || true
+    wait "$daemon_pid" 2>/dev/null || true
 
     echo "== smoke: checkpoint at step 2, resume to step 4 =="
     "$out/bin/semflow" -case channel -n 5 -ranks 4 -steps 2 -report 1 \
