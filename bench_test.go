@@ -113,6 +113,31 @@ func BenchmarkTable1ChannelStepUnbatched(b *testing.B) {
 	}
 }
 
+// BenchmarkPrecondChannelStep* step the Table 1 channel under each pressure
+// preconditioner variant. The pressure solve dominates the step, so the
+// deltas here are (up to the fixed advection/viscous cost) the per-variant
+// pressure-solve cost the runtime tuner trades off; the per-solve iteration
+// counts behind them land in solver/pressure.iters.hist and the selection
+// gate (TestPrecondSelectionGateChannel) pins the auto pick against the
+// Schwarz reference.
+func BenchmarkPrecondChannelStepSchwarz(b *testing.B) {
+	benchChannelStep(b, flowcases.ChannelConfig{
+		Re: 7500, Alpha: 1, N: 9, Dt: 0.003125, Order: 2, Precond: ns.PrecondSchwarz,
+	})
+}
+
+func BenchmarkPrecondChannelStepChebJacobi(b *testing.B) {
+	benchChannelStep(b, flowcases.ChannelConfig{
+		Re: 7500, Alpha: 1, N: 9, Dt: 0.003125, Order: 2, Precond: ns.PrecondChebJacobi,
+	})
+}
+
+func BenchmarkPrecondChannelStepChebSchwarz(b *testing.B) {
+	benchChannelStep(b, flowcases.ChannelConfig{
+		Re: 7500, Alpha: 1, N: 9, Dt: 0.003125, Order: 2, Precond: ns.PrecondChebSchwarz,
+	})
+}
+
 // BenchmarkTable1ChannelStepTuned steps with a Strict auto-tuned dispatch
 // table installed for the case's matmul shapes. Strict tuning only considers
 // bitwise-identical kernels, so the delta over BenchmarkTable1ChannelStep is

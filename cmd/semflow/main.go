@@ -36,6 +36,7 @@ import (
 	"repro/internal/ns"
 	"repro/internal/parrun"
 	"repro/internal/session"
+	"repro/internal/solver"
 )
 
 func main() {
@@ -51,6 +52,8 @@ func main() {
 	workers := flag.Int("workers", 2, "element-loop workers (dual-processor mode analogue)")
 	autotune := flag.Bool("autotune", false, "micro-benchmark the matmul kernels for this case's shapes and install the per-shape dispatch table (bitwise-identical Strict mode)")
 	autotuneCache := flag.String("autotune-cache", "", "like -autotune, but persist the tuned dispatch table to this file and reuse it on later runs; the cache is keyed by CPU model and Go version, and any mismatch forces a re-tune")
+	precond := flag.String("precond", "", "pressure preconditioner: schwarz (reference), chebjacobi, chebschwarz, none, or auto (pick per mesh/order/ranks/tolerance from short trial solves)")
+	precondCache := flag.String("precond-cache", "", "with -precond auto: persist the selections to this file and reuse them on later runs; keyed by CPU model and Go version, any mismatch forces a re-selection")
 	every := flag.Int("report", 10, "report interval")
 	stats := flag.Bool("stats", false, "print the per-phase instrumentation report after the run")
 	statsJSON := flag.Bool("stats-json", false, "like -stats, but emit JSON")
@@ -82,6 +85,11 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
+	if *precond != "" && !ns.ValidPrecond(*precond) {
+		log.Fatalf("-precond %q: want schwarz, chebjacobi, chebschwarz, none or auto", *precond)
+	}
+	loadPrecondCache(*precondCache)
+
 	if *ranks > 0 {
 		runDistributed(distOpts{
 			caseName: *caseName, ranks: *ranks, steps: *steps, n: *n, nel: *nel,
@@ -90,7 +98,7 @@ func main() {
 			traceOut: *traceOut, historyOut: *historyOut,
 			traceSample: *traceSample, listen: *listen, linger: *linger,
 			faultsPath: *faultsPath, ckptDir: *ckptDir, ckptEvery: *ckptEvery,
-			resume: *resume,
+			resume: *resume, precond: *precond, precondCache: *precondCache,
 		})
 		return
 	}
@@ -110,7 +118,8 @@ func main() {
 	cfg := session.Config{
 		Case: *caseName, Steps: *steps, N: *n, Nel: *nel, KX: *kx, KY: *ky,
 		Alpha: *alpha, ProjectionL: *l, Workers: *workers,
-		Trace: *traceOut != "",
+		Precond: *precond,
+		Trace:   *traceOut != "",
 	}
 	var sess *session.Session // assigned below; OnStep only fires during StepN
 	nonconverged := 0
@@ -159,10 +168,14 @@ func main() {
 			fmt.Printf("  %s\n", r)
 		}
 	}
+	sel := s.PrecondSelection()
+	reportPrecond(sel)
+	savePrecondCache(*precondCache)
 	reg := sess.Registry()
 	reg.SetMeta(instrument.RunMeta{
 		Case: *caseName, Elements: s.M.K, Order: s.M.N, Steps: *steps,
 		Workers: *workers, TraceSample: *traceSample,
+		Precond: sel.Name, PrecondSource: sel.Source,
 	})
 	tracer := sess.Tracer()
 	if tracer != nil {
@@ -274,6 +287,8 @@ type distOpts struct {
 	faultsPath, ckptDir  string
 	ckptEvery            int
 	resume               bool
+	precond              string // pressure preconditioner variant ("" = case default)
+	precondCache         string // persisted -precond auto selections
 }
 
 // runDistributed runs the selected case's whole time loop as an SPMD
@@ -313,6 +328,9 @@ func runDistributed(o distOpts) {
 	}
 	if o.piters > 0 {
 		cfg.PMaxIter = o.piters
+	}
+	if o.precond != "" {
+		cfg.PressurePrecond = o.precond
 	}
 	var plan *fault.Plan
 	if o.faultsPath != "" {
@@ -396,6 +414,22 @@ func runDistributed(o distOpts) {
 		slog.Info("rank count clamped (one element minimum per rank)",
 			"requested", res.RequestedP, "effective", res.P)
 	}
+	reportPrecond(res.PrecondSel)
+	savePrecondCache(o.precondCache)
+	if reg != nil {
+		// Refresh the metadata with the resolved variant: for -precond auto
+		// the selection only exists once the template has run its trials.
+		var seed int64
+		if plan != nil {
+			seed = plan.Seed
+		}
+		reg.SetMeta(instrument.RunMeta{
+			Case: o.caseName, Ranks: o.ranks, Elements: m.K, Order: m.N,
+			Steps: o.steps, PIters: o.piters, FaultSeed: seed,
+			TraceSample: o.traceSample,
+			Precond:     res.Precond, PrecondSource: res.PrecondSel.Source,
+		})
+	}
 	fmt.Printf("%6s %9s %6s %8s %8s %8s %12s\n",
 		"step", "t", "CFL", "p-iters", "h-iters", "basis", "p-res")
 	for _, st := range res.StepStats {
@@ -466,6 +500,51 @@ func runDistributed(o distOpts) {
 // strideSample picks r evenly spaced ranks out of p — the deterministic
 // choice behind -trace-sample, so reruns record the same tracks. nil means
 // "trace everything" (r = 0 or r covers all of p).
+// loadPrecondCache installs persisted -precond auto selections before any
+// solver is built. A stale or foreign cache (other machine, other Go
+// version) is re-selected, never trusted — the same policy as the matmul
+// autotune cache.
+func loadPrecondCache(path string) {
+	if path == "" {
+		return
+	}
+	pt, err := solver.LoadPrecondCache(path)
+	if err == nil {
+		solver.InstallPrecondTable(pt)
+		fmt.Printf("precond: reusing %d cached selections from %s\n", pt.Len(), path)
+		return
+	}
+	if !errors.Is(err, os.ErrNotExist) {
+		slog.Warn("precond cache unusable, re-selecting", "err", err)
+	}
+}
+
+// savePrecondCache persists the process-wide selection table (if any).
+func savePrecondCache(path string) {
+	t := solver.InstalledPrecondTable()
+	if path == "" || t.Len() == 0 {
+		return
+	}
+	if err := solver.SavePrecondCache(path, t); err != nil {
+		slog.Warn("precond cache not written", "err", err)
+	} else {
+		fmt.Printf("precond: %d selections cached to %s\n", t.Len(), path)
+	}
+}
+
+// reportPrecond prints the resolved pressure preconditioner and, after an
+// auto trial tournament, the per-candidate stats.
+func reportPrecond(sel solver.PrecondSelection) {
+	if sel.Name == "" {
+		return
+	}
+	fmt.Printf("precond: %s (%s)\n", sel.Name, sel.Source)
+	for _, tr := range sel.Trials {
+		fmt.Printf("  trial %-12s %4d iters  converged=%-5v  %.3fs\n",
+			tr.Name, tr.Iterations, tr.Converged, tr.Seconds)
+	}
+}
+
 func strideSample(p, r int) []int {
 	if r <= 0 || r >= p {
 		return nil

@@ -34,6 +34,7 @@ func main() {
 		"fig8":    fig8,
 		"faults":  faultsExp,
 		"scaling": scaling,
+		"precond": precondExp,
 	}
 	if *exp == "all" {
 		for _, name := range []string{"table1", "table2", "table3", "table4", "fig3", "fig4", "fig6", "fig8", "faults"} {

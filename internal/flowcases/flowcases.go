@@ -26,6 +26,7 @@ type ShearLayerConfig struct {
 	Alpha   float64 // filter strength (0 none, 0.3 partial, 1 full)
 	Order   int     // BDF order (default 2)
 	Workers int
+	Precond string // pressure preconditioner variant ("" = schwarz)
 }
 
 // InitFunc is an initial velocity field. Specs return the problem as an
@@ -59,6 +60,7 @@ func ShearLayerSpec(c ShearLayerConfig) (ns.Config, InitFunc, error) {
 		Mesh: m, Re: c.Re, Dt: c.Dt, Order: c.Order,
 		FilterAlpha: c.Alpha, FilterCutoff: cutoff, Workers: c.Workers,
 		ProjectionL: 20, PTol: 1e-7, SubCFL: 0.25,
+		PressurePrecond: c.Precond,
 	}
 	rho := c.Rho
 	init := func(x, y, z float64) (float64, float64, float64) {
@@ -150,6 +152,7 @@ type ChannelConfig struct {
 	Filter  float64 // filter strength (Table 1's α)
 	Eps     float64 // perturbation amplitude (paper: 1e-5)
 	Workers int
+	Precond string // pressure preconditioner variant ("" = schwarz)
 }
 
 // ChannelSpec builds the Table 1 problem definition without constructing a
@@ -177,6 +180,7 @@ func ChannelSpec(c ChannelConfig) (ns.Config, InitFunc, *orrsomm.Result, error) 
 	cfg := ns.Config{
 		Mesh: m, Re: re, Dt: c.Dt, Order: c.Order, FilterAlpha: c.Filter,
 		Workers: c.Workers, ProjectionL: 20, PTol: 1e-9, VTol: 1e-11,
+		PressurePrecond: c.Precond,
 		DirichletMask: func(x, y, z float64) bool { return true }, // walls
 		DirichletVal: func(x, y, z, t float64) (float64, float64, float64) {
 			return 0, 0, 0
@@ -249,6 +253,7 @@ type ConvectionConfig struct {
 	Dt          float64
 	ProjectionL int
 	Workers     int
+	Precond     string // pressure preconditioner variant ("" = schwarz)
 }
 
 // Convection builds a closed 2D box heated from below (Boussinesq).
@@ -262,6 +267,7 @@ func Convection(c ConvectionConfig) (*ns.Solver, error) {
 	s, err := ns.New(ns.Config{
 		Mesh: m, Re: 1 / pr, Dt: c.Dt, Workers: c.Workers,
 		ProjectionL: c.ProjectionL, PTol: 1e-8,
+		PressurePrecond: c.Precond,
 		DirichletMask: func(x, y, z float64) bool { return true },
 		DirichletVal: func(x, y, z, t float64) (float64, float64, float64) {
 			return 0, 0, 0
@@ -301,6 +307,7 @@ type HairpinConfig struct {
 	Workers    int
 	FilterA    float64
 	ProjL      int
+	Precond    string // pressure preconditioner variant ("" = schwarz)
 }
 
 // HairpinSpec builds the Figs. 7–8 problem definition without constructing
@@ -337,6 +344,7 @@ func HairpinSpec(c HairpinConfig) (ns.Config, InitFunc, error) {
 	cfg := ns.Config{
 		Mesh: m, Re: c.Re, Dt: c.Dt, Workers: c.Workers,
 		FilterAlpha: c.FilterA, ProjectionL: c.ProjL, PTol: 1e-6, VTol: 1e-8,
+		PressurePrecond: c.Precond,
 		// Dirichlet on inflow (x=0), floor (z=0 including the bump, which
 		// lifts it to at most 0.8) and top; outflow (x=Lx) and the spanwise
 		// sides are left natural.

@@ -169,6 +169,11 @@ type RunMeta struct {
 	Workers     int    `json:"workers,omitempty"`
 	FaultSeed   int64  `json:"fault_seed,omitempty"`
 	TraceSample int    `json:"trace_sample,omitempty"`
+
+	// Pressure preconditioner: the resolved variant and how it was chosen
+	// ("forced", "default", "table", "trial").
+	Precond       string `json:"precond,omitempty"`
+	PrecondSource string `json:"precond_source,omitempty"`
 }
 
 // Registry is a collection of named metrics. The nil *Registry is the

@@ -78,19 +78,31 @@ func SaveCache(path string, dt *DispatchTable) error {
 		return err
 	}
 	b = append(b, '\n')
+	if err := WriteFileAtomic(path, b); err != nil {
+		return fmt.Errorf("la: tune cache: %w", err)
+	}
+	return nil
+}
+
+// WriteFileAtomic writes b to path through a unique temp file in the target
+// directory, fsync, chmod 0644, rename. Concurrent writers (semflowd
+// sessions autotuning at once) never tear the file: readers see either the
+// old contents or the new, never a mix. Shared by the matmul tune cache and
+// the solver's preconditioner-selection cache.
+func WriteFileAtomic(path string, b []byte) error {
 	dir, base := filepath.Split(path)
 	if dir == "" {
 		dir = "."
 	}
 	tf, err := os.CreateTemp(dir, base+".tmp-*")
 	if err != nil {
-		return fmt.Errorf("la: tune cache: %w", err)
+		return err
 	}
 	tmp := tf.Name()
 	fail := func(err error) error {
 		tf.Close()
 		os.Remove(tmp)
-		return fmt.Errorf("la: tune cache: %w", err)
+		return err
 	}
 	if _, err := tf.Write(b); err != nil {
 		return fail(err)
@@ -103,11 +115,11 @@ func SaveCache(path string, dt *DispatchTable) error {
 	}
 	if err := tf.Close(); err != nil {
 		os.Remove(tmp)
-		return fmt.Errorf("la: tune cache: %w", err)
+		return err
 	}
 	if err := os.Rename(tmp, path); err != nil {
 		os.Remove(tmp)
-		return fmt.Errorf("la: tune cache: %w", err)
+		return err
 	}
 	return nil
 }

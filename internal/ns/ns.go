@@ -65,9 +65,17 @@ type Config struct {
 	SkewWeight  float64 // skew-symmetric convection blend (0 = plain form, default)
 	PMaxIter    int     // pressure CG iteration cap (default 500)
 
-	// PressurePrecond selects the E-preconditioner: "schwarz" (default) or
-	// "none".
+	// PressurePrecond selects the E-preconditioner: "schwarz" (default),
+	// "chebjacobi", "chebschwarz", "none", or "auto" — which consults the
+	// installed solver.PrecondTable and falls back to a trial-solve
+	// tournament over the concrete variants (see precond.go).
 	PressurePrecond string
+
+	// TuneRanks is the rank count recorded in the preconditioner-selection
+	// key when PressurePrecond is "auto": parrun sets it to the distributed
+	// P so selections are keyed (and cached) per rank count; 0 means the
+	// serial stepper, keyed as P=1.
+	TuneRanks int
 
 	// UnbatchedViscous keeps the per-component Helmholtz CG loop instead of
 	// the batched multi-RHS solve. The batched path is bitwise identical
@@ -153,6 +161,15 @@ type Solver struct {
 	projector *solver.Projector
 	enclosed  bool // no open boundary: pressure has the constant null space
 	vol       float64
+
+	// Pressure preconditioner selection (precond.go).
+	precondName   string                  // resolved concrete variant
+	precondSel    solver.PrecondSelection // how it was chosen
+	pDiagE        []float64               // exact diag(E) (chebjacobi)
+	chebJacobi    *solver.Chebyshev
+	chebSchwarz   *solver.Chebyshev
+	chebJacobiOp  solver.Operator // deflate-wrapped Apply
+	chebSchwarzOp solver.Operator
 
 	DS *sem.Disc // scalar-grid operators (scalar mask), nil without a scalar
 
@@ -338,8 +355,9 @@ func New(cfg Config) (*Solver, error) {
 	if cfg.PMaxIter == 0 {
 		cfg.PMaxIter = 500
 	}
+	precondForced := cfg.PressurePrecond != ""
 	if cfg.PressurePrecond == "" {
-		cfg.PressurePrecond = "schwarz"
+		cfg.PressurePrecond = PrecondSchwarz
 	}
 	s := &Solver{Cfg: cfg, M: m, dim: m.Dim, n: m.K * m.Np}
 	var mask []float64
@@ -414,18 +432,6 @@ func New(cfg Config) (*Solver, error) {
 		} else {
 			s.filter = sem.NewFilter(m, cfg.FilterAlpha)
 		}
-	}
-	if cfg.PressurePrecond == "schwarz" {
-		// The sandwich preconditioner acts on the unmasked Laplacian, whose
-		// coarse operator is singular (pure Neumann) regardless of the
-		// velocity boundary conditions: always pin its null space.
-		pre, err := schwarz.New(s.DN, schwarz.Options{
-			Method: schwarz.FDM, UseCoarse: true, Neumann: true,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("ns: pressure preconditioner: %w", err)
-		}
-		s.pPre = pre
 	}
 	if cfg.ProjectionL > 0 {
 		s.projector = solver.NewProjector(cfg.ProjectionL, s.applyE, s.pressureDot)
@@ -502,7 +508,6 @@ func New(cfg Config) (*Solver, error) {
 			}
 		}
 	}
-	s.pPrecondOp = s.pressurePrecond
 	np := m.Np
 	npp := s.npp
 	s.restrictLoop = func(e, w int) {
@@ -518,6 +523,12 @@ func New(cfg Config) (*Solver, error) {
 	// first-call fill would race.
 	s.vptMatrix()
 	s.pvtMatrix()
+	// Last: the preconditioner resolution (possibly trial solves) needs the
+	// fully assembled operator machinery above.
+	if err := s.setupPressurePrecond(precondForced); err != nil {
+		s.Close()
+		return nil, err
+	}
 	return s, nil
 }
 

@@ -173,7 +173,7 @@ func (s *Solver) Step() (StepStats, error) {
 		Time: s.instr.pressureCG, Iters: s.instr.pressureIters, IterHist: s.instr.pressureIterH,
 		Tracer: s.tracer, TraceName: "pressure.cg", Converged: s.instr.pressConv,
 		Scratch: s.cgScratch}
-	if s.pPre != nil {
+	if s.pPrecondOp != nil {
 		popt.Precond = s.pPrecondOp
 	}
 	var pstats solver.Stats

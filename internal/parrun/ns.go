@@ -98,6 +98,12 @@ type NSResult struct {
 	// work-dominated → latency-dominated crossover from these four numbers.
 	PhaseVirtual [4]float64
 
+	// Precond is the resolved pressure preconditioner variant the run used;
+	// PrecondSel reports how it was chosen (forced, default, table hit, or a
+	// trial tournament with per-candidate stats), from the serial template.
+	Precond    string
+	PrecondSel solver.PrecondSelection
+
 	// Converged is true only when every pressure and viscous solve of every
 	// step hit its tolerance; NonconvergedSteps counts the offenders.
 	Converged         bool
@@ -165,8 +171,12 @@ func NavierStokes(nscfg ns.Config, cfg NSConfig) (*NSResult, error) {
 
 	// One serial solver, built once, shared by all ranks as a read-only
 	// operator template: its per-element kernels take caller scratch or pool
-	// scratch, never the solver's own arenas.
+	// scratch, never the solver's own arenas. TuneRanks keys any "auto"
+	// preconditioner selection (and its cache entry) to this rank count, and
+	// the template's resolved variant, Chebyshev bounds, and diag(E) are read
+	// by every rank — SPMD-uniform coefficients by construction.
 	nscfg.Workers = 1
+	nscfg.TuneRanks = p
 	tmpl, err := ns.New(nscfg)
 	if err != nil {
 		return nil, fmt.Errorf("parrun: %w", err)
@@ -175,8 +185,11 @@ func NavierStokes(nscfg ns.Config, cfg NSConfig) (*NSResult, error) {
 		tmpl.SetVelocity(cfg.Init)
 	}
 
+	// The distributed coarse XXT is only paid for when the resolved variant
+	// actually runs the coarse term (the Schwarz sandwich): the Chebyshev
+	// variants replace it with polynomial global coupling.
 	var xxt *coarse.XXT
-	if tmpl.PressurePre() != nil {
+	if tmpl.PressurePre() != nil && tmpl.PrecondName() == ns.PrecondSchwarz {
 		xxt, err = coarse.NewXXT(tmpl.PressurePre().CoarseOperator(), 0, 0, p)
 		if err != nil {
 			return nil, fmt.Errorf("parrun: coarse setup: %w", err)
@@ -255,6 +268,8 @@ func NavierStokes(nscfg ns.Config, cfg NSConfig) (*NSResult, error) {
 		RequestedP:     requested,
 		Steps:          cfg.Steps,
 		FirstStep:      firstStep,
+		Precond:        tmpl.PrecondName(),
+		PrecondSel:     tmpl.PrecondSelection(),
 		Converged:      true,
 		VirtualSeconds: comm.MaxTime(ranks),
 		TotalBytes:     comm.TotalBytes(ranks),
@@ -387,7 +402,14 @@ type nsRank struct {
 	cgScratch      *solver.Scratch
 	projector      *solver.Projector
 
-	// Distributed Schwarz+XXT pieces (nil xxt when the precond is off).
+	// Resolved pressure preconditioner: the variant name comes off the serial
+	// template (so all ranks agree), pPrecondOp is the rank-side application.
+	precond    string
+	pPrecondOp func(out, r []float64)
+	cheb       *solver.Chebyshev // Chebyshev wrapper (chebjacobi/chebschwarz)
+	diagE      []float64         // rank blocks of the template's diag(E) (chebjacobi)
+
+	// Distributed Schwarz+XXT pieces (nil xxt when the coarse term is off).
 	// invPerm is shared, read-only, computed once by the driver — 1024 rank
 	// bodies each rebuilding an NVert-length permutation is exactly the
 	// replicated-setup cost the large-P path cannot afford.
@@ -511,6 +533,8 @@ func nsRankBody(r *comm.Rank, tmpl *ns.Solver, mine []int, xxt *coarse.XXT, invP
 
 	if k.pre != nil {
 		k.lwork = k.pre.NewLocalWork()
+	}
+	if xxt != nil {
 		nv := m.NVert
 		k.invPerm = invPerm
 		k.lo, k.hi = xxt.BlockLo[r.ID], xxt.BlockHi[r.ID]
@@ -520,6 +544,7 @@ func nsRankBody(r *comm.Rank, tmpl *ns.Solver, mine []int, xxt *coarse.XXT, invP
 		k.blArena = make([]float64, k.hi-k.lo)
 		k.xxtWork = xxt.NewSolveWork(r.ID)
 	}
+	k.setupPrecond()
 	k.gtBlocks = make([][]float64, k.dim)
 	k.advFlds = make([][]float64, k.dim)
 	if l := tmpl.Cfg.ProjectionL; l > 0 {
@@ -812,23 +837,85 @@ func (k *nsRank) applyE(out, p []float64) {
 	}
 }
 
-// pressurePrecond is the Schwarz-sandwich preconditioner with the local FDM
-// solves on owned elements and the coarse vertex solve routed through the
-// distributed XXT.
+// setupPrecond resolves the template's pressure preconditioner variant into
+// this rank's application function. The Chebyshev variants reuse the
+// template's tuned eigenvalue bounds and degree verbatim, so every rank (and
+// the serial reference) runs identical polynomial coefficients.
+func (k *nsRank) setupPrecond() {
+	k.precond = k.tmpl.PrecondName()
+	switch k.precond {
+	case ns.PrecondSchwarz:
+		k.pPrecondOp = k.pressurePrecond
+	case ns.PrecondChebJacobi:
+		k.diagE = k.gatherP(k.tmpl.PressureDiagE())
+		diag := k.diagE
+		lmin, lmax, deg, _ := k.tmpl.ChebBounds(k.precond)
+		k.cheb = &solver.Chebyshev{
+			Label: k.precond, A: k.applyE, Degree: deg, LMin: lmin, LMax: lmax,
+			Base: func(out, in []float64) {
+				for i := range in {
+					out[i] = in[i] / diag[i]
+				}
+				k.r.Compute(int64(len(in)))
+			},
+		}
+		k.pPrecondOp = k.chebPrecond
+	case ns.PrecondChebSchwarz:
+		lmin, lmax, deg, _ := k.tmpl.ChebBounds(k.precond)
+		k.cheb = &solver.Chebyshev{
+			Label: k.precond, A: k.applyE, Degree: deg, LMin: lmin, LMax: lmax,
+			Base: func(out, in []float64) { k.precondSandwich(out, in, false) },
+		}
+		k.pPrecondOp = k.chebPrecond
+	}
+}
+
+// pressurePrecond is the Schwarz-sandwich reference preconditioner: deflate,
+// local FDM solves + coarse XXT vertex term, deflate.
 func (k *nsRank) pressurePrecond(out, r []float64) {
 	if k.pre == nil {
 		copy(out, r)
 		return
 	}
-	rk := k.r
-	tr := k.cfg.Tracer
-	np, npp := k.np, k.npp
 	rin := r
 	if k.tmpl.Enclosed() {
 		rin = k.rinArena
 		copy(rin, r)
 		k.deflate(rin)
 	}
+	k.precondSandwich(out, rin, true)
+	if k.tmpl.Enclosed() {
+		k.deflate(out)
+	}
+}
+
+// chebPrecond applies the rank's Chebyshev-accelerated variant with the same
+// null-space handling as the reference: input and output projected off the
+// constant mode on enclosed domains. (Chebyshev.Apply copies its input into
+// its own arena before the base sweep runs, so reusing rinArena inside the
+// sandwich base is safe.)
+func (k *nsRank) chebPrecond(out, r []float64) {
+	rin := r
+	if k.tmpl.Enclosed() {
+		rin = k.rinArena
+		copy(rin, r)
+		k.deflate(rin)
+	}
+	k.cheb.Apply(out, rin)
+	if k.tmpl.Enclosed() {
+		k.deflate(out)
+	}
+}
+
+// precondSandwich is the prolong → Schwarz smooth → restrict core shared by
+// the reference sandwich (coarse=true: local FDM solves plus the distributed
+// XXT vertex term) and the Chebyshev-Schwarz base sweep (coarse=false: the
+// polynomial supplies the global coupling instead). No deflation — callers
+// own the null-space handling.
+func (k *nsRank) precondSandwich(out, rin []float64, coarse bool) {
+	rk := k.r
+	tr := k.cfg.Tracer
+	np, npp := k.np, k.npp
 	rv := k.rvArena
 	for li := range k.mine {
 		k.tmpl.ProlongPVElem(rv[li*np:(li+1)*np], rin[li*npp:(li+1)*npp], k.iwork)
@@ -846,42 +933,41 @@ func (k *nsRank) pressurePrecond(out, r []float64) {
 			map[string]any{"elems": len(k.mine)})
 	}
 	k.h.Apply(zv, gs.Sum)
-	// Coarse term from the assembled residual rv, as in the serial sandwich.
-	t1 := rk.Time
-	nv := k.tmpl.M.NVert
-	r0 := k.r0Arena
-	for i := range r0 {
-		r0[i] = 0
-	}
-	cf := k.pre.CoarseRestrictElems(r0, rv, k.mine)
-	rk.Compute(cf)
-	rk.Allreduce(r0, comm.OpSum)
-	bLocal := k.blArena
-	for newi := k.lo; newi < k.hi; newi++ {
-		bLocal[newi-k.lo] = r0[k.xxt.Perm[newi]]
-	}
-	uLocal := k.xxt.SolveOnW(rk, bLocal, k.xxtWork)
-	up := k.upArena
-	for i := range up {
-		up[i] = 0
-	}
-	copy(up[k.lo:k.hi], uLocal)
-	rk.Allreduce(up, comm.OpSum)
-	x0 := k.x0Arena
-	for old := 0; old < nv; old++ {
-		x0[old] = up[k.invPerm[old]]
-	}
-	cf = k.pre.CoarseProlongElems(zv, x0, k.mine)
-	rk.Compute(cf)
-	if tr.WantsV(rk.ID) {
-		tr.SpanV(rk.ID, "schwarz/coarse", "precond", t1, rk.Time,
-			map[string]any{"nvert": nv})
+	if coarse {
+		// Coarse term from the assembled residual rv, as in the serial sandwich.
+		t1 := rk.Time
+		nv := k.tmpl.M.NVert
+		r0 := k.r0Arena
+		for i := range r0 {
+			r0[i] = 0
+		}
+		cf := k.pre.CoarseRestrictElems(r0, rv, k.mine)
+		rk.Compute(cf)
+		rk.Allreduce(r0, comm.OpSum)
+		bLocal := k.blArena
+		for newi := k.lo; newi < k.hi; newi++ {
+			bLocal[newi-k.lo] = r0[k.xxt.Perm[newi]]
+		}
+		uLocal := k.xxt.SolveOnW(rk, bLocal, k.xxtWork)
+		up := k.upArena
+		for i := range up {
+			up[i] = 0
+		}
+		copy(up[k.lo:k.hi], uLocal)
+		rk.Allreduce(up, comm.OpSum)
+		x0 := k.x0Arena
+		for old := 0; old < nv; old++ {
+			x0[old] = up[k.invPerm[old]]
+		}
+		cf = k.pre.CoarseProlongElems(zv, x0, k.mine)
+		rk.Compute(cf)
+		if tr.WantsV(rk.ID) {
+			tr.SpanV(rk.ID, "schwarz/coarse", "precond", t1, rk.Time,
+				map[string]any{"nvert": nv})
+		}
 	}
 	for li := range k.mine {
 		k.tmpl.RestrictVPElem(out[li*npp:(li+1)*npp], zv[li*np:(li+1)*np], k.iwork)
-	}
-	if k.tmpl.Enclosed() {
-		k.deflate(out)
 	}
 }
 
@@ -1177,8 +1263,8 @@ func (k *nsRank) step(stepNo int) (rankStep, error) {
 	}
 	popt := solver.Options{Tol: cfg.PTol, MaxIter: cfg.PMaxIter,
 		History: k.cfg.History != nil, IterHist: k.pIterHist, Scratch: k.cgScratch}
-	if k.pre != nil {
-		popt.Precond = k.pressurePrecond
+	if k.pPrecondOp != nil {
+		popt.Precond = k.pPrecondOp
 	}
 	var pstats solver.Stats
 	if k.projector != nil {

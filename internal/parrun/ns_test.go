@@ -10,6 +10,7 @@ import (
 	"repro/internal/instrument"
 	"repro/internal/mesh"
 	"repro/internal/ns"
+	"repro/internal/solver"
 )
 
 // nsCase is a small enclosed 2D case: all-Dirichlet walls (so the pressure
@@ -301,5 +302,68 @@ func TestRequestedPRecorded(t *testing.T) {
 	}
 	if res.P != m.K || res.RequestedP != 9 {
 		t.Fatalf("effective/requested = %d/%d, want %d/9", res.P, res.RequestedP, m.K)
+	}
+}
+
+// TestNavierStokesPrecondVariants: each Chebyshev variant must reproduce the
+// serial solver's fields distributed (the bounds come off the shared
+// template, so rank count cannot change the polynomial), converge every
+// pressure solve, and report the resolved variant in the result.
+func TestNavierStokesPrecondVariants(t *testing.T) {
+	for _, name := range []string{ns.PrecondChebJacobi, ns.PrecondChebSchwarz} {
+		cfg, init := nsCase(t)
+		cfg.PressurePrecond = name
+		const steps = 6
+		ser := runSerial(t, cfg, init, steps)
+		for _, p := range []int{1, 3} {
+			res, err := NavierStokes(cfg, NSConfig{P: p, Steps: steps, Init: init})
+			if err != nil {
+				t.Fatalf("%s P=%d: %v", name, p, err)
+			}
+			if res.Precond != name || res.PrecondSel.Source != "forced" {
+				t.Fatalf("%s P=%d: resolved %q (source %q)", name, p, res.Precond, res.PrecondSel.Source)
+			}
+			if !res.Converged {
+				t.Fatalf("%s P=%d: %d steps did not converge", name, p, res.NonconvergedSteps)
+			}
+			tol := 1e-8
+			for c := 0; c < cfg.Mesh.Dim; c++ {
+				if d := maxAbsDiff(res.U[c], ser.Velocity(c)); d > tol {
+					t.Errorf("%s P=%d: velocity component %d differs from serial by %g > %g", name, p, c, d, tol)
+				}
+			}
+			if d := maxAbsDiff(res.Pressure, ser.Pressure()); d > tol {
+				t.Errorf("%s P=%d: pressure differs from serial by %g > %g", name, p, d, tol)
+			}
+		}
+	}
+}
+
+// TestNavierStokesPrecondAuto: "auto" distributed must resolve through the
+// template's trial tournament, key the selection to the rank count, and run
+// converged with the winner reported in the result.
+func TestNavierStokesPrecondAuto(t *testing.T) {
+	solver.ResetPrecondTable()
+	defer solver.ResetPrecondTable()
+	cfg, init := nsCase(t)
+	cfg.PressurePrecond = ns.PrecondAuto
+	res, err := NavierStokes(cfg, NSConfig{P: 3, Steps: 3, Init: init})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ns.ValidPrecond(res.Precond) || res.Precond == ns.PrecondAuto || res.Precond == ns.PrecondNone {
+		t.Fatalf("auto resolved to %q", res.Precond)
+	}
+	if res.PrecondSel.Source != "trial" || len(res.PrecondSel.Trials) == 0 {
+		t.Fatalf("selection = %+v, want a trial tournament", res.PrecondSel)
+	}
+	if !res.Converged {
+		t.Fatalf("auto-selected %q: %d steps did not converge", res.Precond, res.NonconvergedSteps)
+	}
+	// The selection must be keyed to this rank count, not the serial P=1 key.
+	tab := solver.InstalledPrecondTable()
+	key := solver.PrecondKey{K: cfg.Mesh.K, N: cfg.Mesh.N, Dim: cfg.Mesh.Dim, P: 3, Tol: cfg.PTol}
+	if name, ok := tab.Lookup(key); !ok || name != res.Precond {
+		t.Fatalf("table lookup for P=3 key = %q, %v; want %q", name, ok, res.Precond)
 	}
 }

@@ -483,7 +483,15 @@ func cornerLocal(dim, n, c int) int {
 }
 
 // Apply computes out = M⁻¹ r for the element-local, assembled residual r.
-func (p *Precond) Apply(out, r []float64) {
+func (p *Precond) Apply(out, r []float64) { p.apply(out, r, p.opt.UseCoarse) }
+
+// ApplyLocal computes the additive-Schwarz sum without the coarse XXT
+// vertex term, even when UseCoarse is set — the cheap smoothing sweep the
+// Chebyshev-accelerated Schwarz preconditioner wraps (the polynomial
+// supplies the global coupling the coarse solve otherwise provides).
+func (p *Precond) ApplyLocal(out, r []float64) { p.apply(out, r, false) }
+
+func (p *Precond) apply(out, r []float64, coarse bool) {
 	d := p.d
 	m := d.M
 	for i := range out {
@@ -546,7 +554,7 @@ func (p *Precond) Apply(out, r []float64) {
 	}
 	p.localTime.End(tLoc)
 	sp.End()
-	if p.opt.UseCoarse {
+	if coarse {
 		// The coarse term is a continuous field: add it after assembly.
 		tCrs := p.coarseTime.Begin()
 		spc := p.tracer.Begin(instrument.PidWall, 0, "schwarz/coarse", "precond")

@@ -46,6 +46,7 @@ type Config struct {
 	Nel         int     `json:"nel,omitempty"`          // elements per direction (shearlayer, convection)
 	KX          int     `json:"kx,omitempty"`           // channel: elements along the channel
 	KY          int     `json:"ky,omitempty"`           // channel: elements across the channel
+	Precond     string  `json:"precond,omitempty"`      // pressure preconditioner: schwarz (default), chebjacobi, chebschwarz, none, auto
 	Alpha       float64 `json:"alpha,omitempty"`        // filter strength (0 = unfiltered)
 	ProjectionL int     `json:"projection_l,omitempty"` // pressure projection basis (convection/hairpin; 0 = case default)
 	Workers     int     `json:"workers,omitempty"`      // element-loop workers (default 1)
@@ -90,11 +91,12 @@ func buildSolver(c Config) (*ns.Solver, error) {
 	case "shearlayer":
 		return flowcases.ShearLayer(flowcases.ShearLayerConfig{
 			Nel: c.Nel, N: c.N, Rho: 30, Re: 1e5, Dt: 0.002, Alpha: c.Alpha, Workers: c.Workers,
+			Precond: c.Precond,
 		})
 	case "channel":
 		s, _, err := flowcases.Channel(flowcases.ChannelConfig{
 			Re: 7500, Alpha: 1, N: c.N, Dt: 0.003125, Order: 2, Filter: c.Alpha,
-			Workers: c.Workers, KX: c.KX, KY: c.KY,
+			Workers: c.Workers, KX: c.KX, KY: c.KY, Precond: c.Precond,
 		})
 		return s, err
 	case "convection":
@@ -104,11 +106,13 @@ func buildSolver(c Config) (*ns.Solver, error) {
 		}
 		return flowcases.Convection(flowcases.ConvectionConfig{
 			Nel: c.Nel, N: c.N, Ra: 1e4, Dt: 0.002, ProjectionL: l, Workers: c.Workers,
+			Precond: c.Precond,
 		})
 	case "hairpin":
 		return flowcases.Hairpin(flowcases.HairpinConfig{
 			Nx: 6, Ny: 4, Nz: 3, N: c.N, Re: 1600, Dt: 0.05,
 			Workers: c.Workers, FilterA: c.Alpha, ProjL: c.ProjectionL,
+			Precond: c.Precond,
 		})
 	default:
 		return nil, fmt.Errorf("session: unknown case %q", c.Case)
@@ -151,9 +155,11 @@ func Create(cfg Config) (*Session, error) {
 		history: instrument.NewTimeSeries(),
 		prog:    instrument.NewProgress(),
 	}
+	sel := solver.PrecondSelection()
 	s.reg.SetMeta(instrument.RunMeta{
 		Case: cfg.Case, Elements: solver.M.K, Order: solver.M.N,
 		Steps: cfg.Steps, Workers: cfg.Workers,
+		Precond: sel.Name, PrecondSource: sel.Source,
 	})
 	solver.AttachMetrics(s.reg)
 	solver.AttachHistory(s.history)

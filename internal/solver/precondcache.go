@@ -1,0 +1,74 @@
+package solver
+
+// precondcache.go persists the preconditioner-selection table across runs,
+// keyed — like la's matmul tune cache — by CPU model + Go version: trial
+// timings are machine-specific, so a selection tuned elsewhere is rejected
+// with la.ErrCacheMismatch and the caller re-trials.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/la"
+)
+
+type precondCacheFile struct {
+	Key     string              `json:"key"`
+	Entries []precondCacheEntry `json:"entries"`
+}
+
+type precondCacheEntry struct {
+	K       int     `json:"k"`
+	N       int     `json:"n"`
+	Dim     int     `json:"dim"`
+	P       int     `json:"p"`
+	Tol     float64 `json:"tol"`
+	Precond string  `json:"precond"`
+}
+
+// SavePrecondCache writes t to path as JSON under this machine's cache key,
+// atomically (concurrent sessions may save at once).
+func SavePrecondCache(path string, t *PrecondTable) error {
+	f := precondCacheFile{Key: la.CacheKey()}
+	for _, k := range t.Keys() {
+		name, _ := t.Lookup(k)
+		f.Entries = append(f.Entries, precondCacheEntry{
+			K: k.K, N: k.N, Dim: k.Dim, P: k.P, Tol: k.Tol, Precond: name,
+		})
+	}
+	b, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if err := la.WriteFileAtomic(path, b); err != nil {
+		return fmt.Errorf("solver: precond cache: %w", err)
+	}
+	return nil
+}
+
+// LoadPrecondCache reads a table saved by SavePrecondCache. A file tuned on
+// a different CPU model or Go version returns an error wrapping
+// la.ErrCacheMismatch; unreadable or malformed files return a plain error.
+func LoadPrecondCache(path string) (*PrecondTable, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f precondCacheFile
+	if err := json.Unmarshal(b, &f); err != nil {
+		return nil, fmt.Errorf("solver: precond cache %s: %w", path, err)
+	}
+	if key := la.CacheKey(); f.Key != key {
+		return nil, fmt.Errorf("%w: file tuned on %q, this machine is %q", la.ErrCacheMismatch, f.Key, key)
+	}
+	t := &PrecondTable{m: make(map[PrecondKey]string, len(f.Entries))}
+	for _, e := range f.Entries {
+		if e.Precond == "" {
+			return nil, fmt.Errorf("solver: precond cache %s: empty variant name", path)
+		}
+		t.m[PrecondKey{K: e.K, N: e.N, Dim: e.Dim, P: e.P, Tol: e.Tol}] = e.Precond
+	}
+	return t, nil
+}

@@ -1,7 +1,7 @@
 #!/bin/sh
 # Reproducible benchmark harness: runs the stepping and kernel benchmarks
 # with -benchmem and converts the output into a schema'd JSON artifact
-# (BENCH_8.json at the repo root) via cmd/benchjson. The artifact embeds
+# (BENCH_10.json at the repo root) via cmd/benchjson. The artifact embeds
 #
 #   - the current measurements, including a -cpu GOMAXPROCS sweep of the
 #     serial, workers=4, and unbatched-viscous channel steppers (benchjson
@@ -21,17 +21,18 @@
 # Environment overrides:
 #   BENCH_REGEX    single-GOMAXPROCS benchmark selector (default: the tuned
 #                  and instrumented Table 1 steppers, the distributed
-#                  channel stepper at P=4 and P=64, and Table 3 kernels)
+#                  channel stepper at P=4 and P=64, Table 3 kernels, and the
+#                  per-preconditioner channel steppers)
 #   BENCH_SWEEP    benchmarks run under the -cpu sweep (default: the Table 1
 #                  serial, workers=4, and unbatched-viscous steppers)
 #   BENCH_CPU      -cpu list for the sweep (default 1,4)
 #   BENCH_TIME     -benchtime value for the full run (default 1s)
 #   BENCH_COUNT    -count value for the full run (default 1)
-#   BENCH_OUT      artifact path for the full run (default BENCH_8.json)
+#   BENCH_OUT      artifact path for the full run (default BENCH_10.json)
 set -eu
 cd "$(dirname "$0")/.."
 
-regex="${BENCH_REGEX:-BenchmarkTable1ChannelStepTuned$|BenchmarkTable1ChannelStepInstrumented$|BenchmarkChannelStepDistributed$|BenchmarkChannelStepDistributedP64$|BenchmarkTable3}"
+regex="${BENCH_REGEX:-BenchmarkTable1ChannelStepTuned$|BenchmarkTable1ChannelStepInstrumented$|BenchmarkChannelStepDistributed$|BenchmarkChannelStepDistributedP64$|BenchmarkTable3|BenchmarkPrecondChannelStep}"
 sweep="${BENCH_SWEEP:-BenchmarkTable1ChannelStep$|BenchmarkTable1ChannelStepW4$|BenchmarkTable1ChannelStepUnbatched$}"
 cpus="${BENCH_CPU:-1,4}"
 mode="${1:-full}"
@@ -69,7 +70,7 @@ quick)
     echo "bench smoke OK (artifact validated, not committed)"
     ;;
 full)
-    out="${BENCH_OUT:-BENCH_8.json}"
+    out="${BENCH_OUT:-BENCH_10.json}"
     benchtime="${BENCH_TIME:-1s}"
     count="${BENCH_COUNT:-1}"
     echo "== bench: -benchtime=$benchtime -count=$count over $regex =="

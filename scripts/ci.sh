@@ -12,17 +12,27 @@
 #           validate the -trace and -history artifacts of the serial,
 #           distributed, fault-injected, and checkpoint/restart paths,
 #           scrape the live -listen endpoint mid-run, walk the P=256
-#           trace's critical path, and round-trip a channel job through
+#           trace's critical path, exercise -precond auto (trial → report
+#           → persisted cache → table rerun, plus a forced-variant
+#           divergence cross-check), and round-trip a channel job through
 #           the semflowd session service (submit, poll, fetch artifacts)
 #   bench   benchmark harness, one iteration per benchmark (including the
 #           -cpu 1,4 worker sweep) + artifact check + the zero-allocs/op
 #           gate on the serial and workers=4 steady-state channel steps
+#           + the preconditioner-selection regression gate on the channel
 #
 # Usage: scripts/ci.sh [tier1|tier2|static|smoke|bench|all]   (default all)
 #
 # Environment:
-#   SMOKE_OUT  directory to keep the smoke artifacts in (default: a temp
-#              dir removed on exit); the workflow uploads it.
+#   SMOKE_OUT          directory to keep the smoke artifacts in (default: a
+#                      temp dir removed on exit); the workflow uploads it.
+#   TUNE_CACHE_DIR     directory holding the persisted preconditioner
+#                      selection cache (default: the smoke dir, i.e. cold);
+#                      the workflow restores it via actions/cache keyed on
+#                      CPU model + Go version.
+#   SMOKE_INJECT_FAIL  =1 makes the smoke tier fail deliberately while its
+#                      background -linger run is alive; the workflow uses
+#                      it to prove the EXIT trap leaks no processes.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -49,17 +59,123 @@ tier2() {
 static() {
     if command -v staticcheck >/dev/null 2>&1; then
         stage "static/staticcheck" staticcheck ./...
+    elif [ "${CI:-}" = "true" ]; then
+        # On a CI runner a missing linter is a broken workflow, not an
+        # optional tool: fail loudly instead of green-washing the tier.
+        echo "== static: staticcheck missing on a CI runner (CI=true); the workflow must install it ==" >&2
+        exit 1
     else
         echo "== static: staticcheck not installed; skipping (the CI workflow installs it) =="
     fi
+}
+
+# --- background-process bookkeeping ----------------------------------------
+# Every background semflow/semflowd registers its pid in BG_PIDS, and ONE
+# EXIT trap reaps whatever is still running — so a failure anywhere
+# mid-smoke (any set -e exit) cannot leak a daemon or a -linger run into
+# the CI runner.
+BG_PIDS=""
+SMOKE_TMP=""
+
+smoke_cleanup() {
+    for pid in $BG_PIDS; do
+        kill "$pid" 2>/dev/null || true
+    done
+    for pid in $BG_PIDS; do
+        wait "$pid" 2>/dev/null || true
+    done
+    if [ -n "$SMOKE_TMP" ]; then
+        rm -rf "$SMOKE_TMP"
+    fi
+}
+
+# spawn_bg LOG CMD... — start CMD in the background, output to LOG, pid
+# registered for the EXIT trap and left in $BG_PID.
+spawn_bg() {
+    _log="$1"
+    shift
+    "$@" > "$_log" 2>&1 &
+    BG_PID=$!
+    BG_PIDS="$BG_PIDS $BG_PID"
+}
+
+# stop_bg PID — stop one registered background process and reap it.
+stop_bg() {
+    kill "$1" 2>/dev/null || true
+    wait "$1" 2>/dev/null || true
+}
+
+# poll_sed LOG EXPR — poll LOG (up to 20s) until `sed -n EXPR` prints
+# something; echoes it. Dumps the log to stderr and fails on timeout.
+poll_sed() {
+    _log="$1"
+    _expr="$2"
+    for _ in $(seq 1 100); do
+        _got="$(sed -n "$_expr" "$_log")"
+        if [ -n "$_got" ]; then
+            echo "$_got"
+            return 0
+        fi
+        sleep 0.2
+    done
+    echo "timed out waiting for '$_expr' in $_log:" >&2
+    cat "$_log" >&2
+    return 1
+}
+
+# poll_grep LOG PATTERN [TRIES] — wait until LOG contains PATTERN (0.2s per
+# try). Dumps the log to stderr and fails on timeout.
+poll_grep() {
+    _log="$1"
+    _pat="$2"
+    _tries="${3:-100}"
+    for _ in $(seq 1 "$_tries"); do
+        if grep -q "$_pat" "$_log"; then
+            return 0
+        fi
+        sleep 0.2
+    done
+    echo "timed out waiting for '$_pat' in $_log:" >&2
+    cat "$_log" >&2
+    return 1
+}
+
+# poll_state URL — poll a semflowd session until its state leaves
+# "running"; echoes the final state.
+poll_state() {
+    _url="$1"
+    _state=""
+    for _ in $(seq 1 300); do
+        _state="$(curl -sf "$_url" | sed -n 's/.*"state": *"\([^"]*\)".*/\1/p')"
+        [ "$_state" = "running" ] || break
+        sleep 0.2
+    done
+    echo "$_state"
+}
+
+# div_bound HIST_A HIST_B — the two runs' final-step max_divergence must
+# meet the same 1e-7 bound and agree within 5%: the preconditioner changes
+# the solver path, never the solution it converges to.
+div_bound() {
+    _da="$(tail -1 "$1" | sed -n 's/.*"max_divergence":\([^,}]*\).*/\1/p')"
+    _db="$(tail -1 "$2" | sed -n 's/.*"max_divergence":\([^,}]*\).*/\1/p')"
+    awk -v a="$_da" -v b="$_db" 'BEGIN {
+        if (a <= 0 || b <= 0 || a > 1e-7 || b > 1e-7) exit 1
+        r = a / b
+        if (r < 0.95 || r > 1.05) exit 1
+    }' || {
+        echo "final-step divergence bounds disagree: $_da vs $_db" >&2
+        return 1
+    }
 }
 
 smoke() {
     out="${SMOKE_OUT:-}"
     if [ -z "$out" ]; then
         out="$(mktemp -d)"
-        trap 'rm -rf "$out"' EXIT
+        SMOKE_TMP="$out"
     fi
+    trap smoke_cleanup EXIT
     mkdir -p "$out/bin"
 
     # Build the drivers once; every smoke below reuses the binaries instead
@@ -110,81 +226,73 @@ EOF
     echo "== smoke: live /metrics and /progress scrape during a -ranks run =="
     # Rank-sampled trace plus the live endpoint: the run lingers after the
     # last step so the scrape below cannot race completion.
-    "$out/bin/semflow" -case channel -n 5 -ranks 4 -steps 4 -report 1 \
-        -listen 127.0.0.1:0 -linger 30s -trace "$out/sampled-trace.json" \
-        -trace-sample 2 > "$out/listen.log" 2>&1 &
-    listen_pid=$!
-    addr=""
-    for _ in $(seq 1 100); do
-        addr="$(sed -n 's|^observability: listening on http://\([^ ]*\).*|\1|p' "$out/listen.log")"
-        [ -n "$addr" ] && break
-        sleep 0.2
-    done
-    if [ -z "$addr" ]; then
-        echo "semflow -listen never reported an address:" >&2
-        cat "$out/listen.log" >&2
-        kill "$listen_pid" 2>/dev/null || true
+    spawn_bg "$out/listen.log" "$out/bin/semflow" -case channel -n 5 -ranks 4 \
+        -steps 4 -report 1 -listen 127.0.0.1:0 -linger 30s \
+        -trace "$out/sampled-trace.json" -trace-sample 2
+    listen_pid=$BG_PID
+    addr="$(poll_sed "$out/listen.log" 's|^observability: listening on http://\([^ ]*\).*|\1|p')"
+    if [ "${SMOKE_INJECT_FAIL:-}" = "1" ]; then
+        # Leak-check hook for the workflow: fail here, with the -linger run
+        # alive, and prove the EXIT trap still reaps every background pid.
+        echo "== smoke: injected failure (SMOKE_INJECT_FAIL=1) ==" >&2
         exit 1
     fi
     "$out/bin/tracecheck" -metrics-url "http://$addr/metrics" \
         -progress-url "http://$addr/progress"
     # Let the run finish writing its artifacts (it lingers afterwards, so
     # the endpoint staying up never races the trace write), then stop it.
-    for _ in $(seq 1 300); do
-        grep -q "trace events" "$out/listen.log" && break
-        sleep 0.2
-    done
-    grep -q "trace events" "$out/listen.log" || {
-        echo "semflow never wrote the sampled trace:" >&2
-        cat "$out/listen.log" >&2
-        kill "$listen_pid" 2>/dev/null || true
-        exit 1
-    }
-    kill "$listen_pid" 2>/dev/null || true
-    wait "$listen_pid" 2>/dev/null || true
+    poll_grep "$out/listen.log" "trace events" 300
+    stop_bg "$listen_pid"
     # The sampled trace keeps full tracks for exactly 2 of the 4 ranks and
     # stays flow-closed by construction.
     "$out/bin/tracecheck" -trace "$out/sampled-trace.json" -min-ranks 2 -flows-closed
+
+    echo "== smoke: -precond auto selects, reports, and caches a variant =="
+    # The selection cache lives in TUNE_CACHE_DIR when the workflow restores
+    # one (actions/cache keyed on CPU model + Go version); the cache file
+    # itself is keyed the same way, so a stale restore re-selects safely.
+    cache_dir="${TUNE_CACHE_DIR:-$out}"
+    mkdir -p "$cache_dir"
+    "$out/bin/semflow" -case channel -n 5 -steps 2 -report 1 -precond auto \
+        -precond-cache "$cache_dir/precond-cache.json" -stats-json \
+        > "$out/precond-auto.log"
+    grep -q '"precond":' "$out/precond-auto.log"
+    grep -Eq '"precond_source": *"(trial|table)"' "$out/precond-auto.log"
+    [ -f "$cache_dir/precond-cache.json" ]
+    # A rerun must resolve from the (installed or persisted) table, with no
+    # second trial tournament.
+    "$out/bin/semflow" -case channel -n 5 -steps 1 -report 1 -precond auto \
+        -precond-cache "$cache_dir/precond-cache.json" -stats-json \
+        > "$out/precond-auto2.log"
+    grep -q '"precond_source": *"table"' "$out/precond-auto2.log"
+    # Forcing the Chebyshev-Jacobi variant must converge to the same
+    # final-step divergence bound as the Schwarz reference run.
+    "$out/bin/semflow" -case channel -n 5 -steps 2 -report 1 \
+        -precond chebjacobi -history "$out/precond-cheb-history.jsonl"
+    "$out/bin/semflow" -case channel -n 5 -steps 2 -report 1 \
+        -precond schwarz -history "$out/precond-schwarz-history.jsonl"
+    div_bound "$out/precond-cheb-history.jsonl" "$out/precond-schwarz-history.jsonl"
 
     echo "== smoke: semflowd session service end-to-end =="
     # Start the daemon on a free port, submit the Table-1 TS-wave channel
     # case over the job API, poll it to completion, then validate the
     # streamed history JSONL and the stored trace artifact with tracecheck.
-    "$out/bin/semflowd" -listen 127.0.0.1:0 -store "$out/semflowd-data" \
-        -max-active 2 > "$out/semflowd.log" 2>&1 &
-    daemon_pid=$!
-    daddr=""
-    for _ in $(seq 1 100); do
-        daddr="$(sed -n 's|^semflowd: listening on http://\([^ ]*\).*|\1|p' "$out/semflowd.log")"
-        [ -n "$daddr" ] && break
-        sleep 0.2
-    done
-    if [ -z "$daddr" ]; then
-        echo "semflowd never reported an address:" >&2
-        cat "$out/semflowd.log" >&2
-        kill "$daemon_pid" 2>/dev/null || true
-        exit 1
-    fi
+    spawn_bg "$out/semflowd.log" "$out/bin/semflowd" -listen 127.0.0.1:0 \
+        -store "$out/semflowd-data" -max-active 2
+    daemon_pid=$BG_PID
+    daddr="$(poll_sed "$out/semflowd.log" 's|^semflowd: listening on http://\([^ ]*\).*|\1|p')"
     sid="$(curl -sf "http://$daddr/api/sessions" \
         -d '{"case":"channel","steps":4,"n":5,"workers":2,"trace":true}' \
         | sed -n 's/.*"id": *"\([^"]*\)".*/\1/p')"
     if [ -z "$sid" ]; then
         echo "semflowd rejected the channel submission:" >&2
         cat "$out/semflowd.log" >&2
-        kill "$daemon_pid" 2>/dev/null || true
         exit 1
     fi
-    state=""
-    for _ in $(seq 1 300); do
-        state="$(curl -sf "http://$daddr/api/sessions/$sid" \
-            | sed -n 's/.*"state": *"\([^"]*\)".*/\1/p')"
-        [ "$state" = "running" ] || break
-        sleep 0.2
-    done
+    state="$(poll_state "http://$daddr/api/sessions/$sid")"
     if [ "$state" != "done" ]; then
         echo "session $sid ended in state '$state':" >&2
         curl -s "http://$daddr/api/sessions/$sid" >&2 || true
-        kill "$daemon_pid" 2>/dev/null || true
         exit 1
     fi
     # Per-session live instruments, then the deposited artifacts.
@@ -197,11 +305,9 @@ EOF
     [ "$(wc -l < "$out/semflowd-history.jsonl")" -eq 4 ] || {
         echo "expected 4 history records, got:" >&2
         cat "$out/semflowd-history.jsonl" >&2
-        kill "$daemon_pid" 2>/dev/null || true
         exit 1
     }
-    kill "$daemon_pid" 2>/dev/null || true
-    wait "$daemon_pid" 2>/dev/null || true
+    stop_bg "$daemon_pid"
 
     echo "== smoke: checkpoint at step 2, resume to step 4 =="
     "$out/bin/semflow" -case channel -n 5 -ranks 4 -steps 2 -report 1 \
@@ -214,6 +320,9 @@ EOF
 
 bench() {
     stage "bench/quick" ./scripts/bench.sh quick
+    # Regression gate: the auto-selected pressure preconditioner must not
+    # iterate worse than the Schwarz reference on the Table 1 channel.
+    stage "bench/precond-gate" go test -run 'TestPrecondSelectionGateChannel' -count=1 -v .
 }
 
 mode="${1:-all}"
